@@ -1,0 +1,67 @@
+// Command uotbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [IDs...]
+//
+// With no IDs, every experiment runs in paper order. IDs are the experiment
+// identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
+// SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	workers := flag.Int("workers", 20, "worker threads (T)")
+	runs := flag.Int("runs", 5, "wall-clock repetitions per configuration")
+	best := flag.Int("best", 3, "average the best K runs")
+	l3 := flag.Int64("l3", 8<<20, "simulated L3 bytes for the cache model")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	h := bench.New(bench.Config{
+		SF: *sf, Workers: *workers, Runs: *runs, Best: *best, SimL3Bytes: *l3,
+	})
+
+	exps := bench.Experiments()
+	if args := flag.Args(); len(args) > 0 {
+		exps = exps[:0]
+		for _, id := range args {
+			e, err := bench.Find(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	cfg := h.Config()
+	fmt.Printf("uotbench: SF=%.3g workers=%d runs=%d best=%d simL3=%dMiB\n\n",
+		cfg.SF, cfg.Workers, cfg.Runs, cfg.Best, cfg.SimL3Bytes>>20)
+	for _, e := range exps {
+		start := time.Now()
+		rep, err := e.Run(h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s regenerated %s in %v)\n\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
+	}
+}

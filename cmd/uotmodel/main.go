@@ -1,0 +1,69 @@
+// Command uotmodel explores the paper's Section V analytical model from the
+// command line: given a UoT size, thread count, and cache geometry it prints
+// the Table I-derived costs, p1', the Eq. 1 ratio under both probability
+// regimes, and the persistent-store variant.
+//
+//	uotmodel -B 131072 -T 20 -l3 26214400
+//	uotmodel -sweep            # the Eq. 1 sweep used by the EQ1 experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+func main() {
+	B := flag.Int64("B", 128<<10, "UoT size in bytes")
+	T := flag.Int("T", 20, "threads")
+	l3 := flag.Int64("l3", 25<<20, "L3 bytes")
+	n := flag.Int64("n", 1000, "number of probe-input UoTs")
+	sweep := flag.Bool("sweep", false, "print the full Eq. 1 sweep")
+	flag.Parse()
+
+	if *sweep {
+		fmt.Printf("%-8s %-4s %-7s %-12s %-12s\n", "B", "T", "p1'", "ratio(high)", "ratio(low)")
+		for _, b := range []int64{64 << 10, 128 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20} {
+			for _, t := range []int{1, 5, 10, 20, 40} {
+				p := costmodel.Default(b, t)
+				p.L3Bytes = *l3
+				fmt.Printf("%-8s %-4d %-7.3f %-12.2f %-12.2f\n",
+					human(b), t, p.P1Prime(), p.HighRegime().Ratio(), p.LowRegime().Ratio())
+			}
+		}
+		return
+	}
+
+	p := costmodel.Default(*B, *T)
+	p.L3Bytes = *l3
+	p.NProbeIn = *n
+
+	fmt.Printf("model parameters (Table I):\n")
+	fmt.Printf("  B = %s, T = %d, |L3| = %s, N_probe_in = %d\n", human(*B), *T, human(*l3), *n)
+	fmt.Printf("  per-UoT costs: R_L3 = %.1f us, AR_L3 = %.1f us, W_mem = %.1f us, M_L3 = %d ns, IC = %d ns\n",
+		p.RL3()/1000, p.ARL3()/1000, p.WMem()/1000, p.ML3, p.IC)
+	fmt.Printf("  p1' = min(1, 2BT/|L3|) = %.3f\n\n", p.P1Prime())
+
+	hi, lo := p.HighRegime(), p.LowRegime()
+	fmt.Printf("extra work of the two strategies (ms across all UoTs):\n")
+	fmt.Printf("  high-UoT (non-pipelining): %.3f\n", hi.HighUoTExtra()/1e6)
+	fmt.Printf("  low-UoT  (pipelining):     %.3f\n", lo.LowUoTExtra()/1e6)
+	fmt.Printf("Eq. 1 ratio: %.2f (high regime), %.2f (low regime) — near 1 means the strategies tie\n\n",
+		hi.Ratio(), lo.Ratio())
+
+	s := costmodel.DefaultStore(*n)
+	fmt.Printf("persistent-store setting (Section V-C):\n")
+	fmt.Printf("  high-UoT extra: %.1f ms | low-UoT extra: %.3f ms | pipelining advantage: %.0fx\n",
+		s.HighUoTExtra()/1e6, s.LowUoTExtra()/1e6, s.Advantage())
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,58 @@
+package uot_test
+
+import (
+	"fmt"
+
+	uot "repro"
+)
+
+// Example builds a two-table join-aggregate plan and runs it at both ends of
+// the UoT spectrum; the results are identical — only the transfer schedule
+// and the memory profile differ.
+func Example() {
+	db := uot.NewDB(4<<10, uot.ColumnStore)
+	items := db.CreateTable("items", uot.NewSchema(
+		uot.Column{Name: "cat", Type: uot.TInt64},
+		uot.Column{Name: "price", Type: uot.TFloat64},
+	))
+	l := uot.NewLoader(items)
+	for i := 0; i < 100; i++ {
+		l.Append(uot.Int64Val(int64(i%2)), uot.Float64Val(float64(i)))
+	}
+	l.Close()
+
+	build := func() *uot.Builder {
+		b := uot.NewBuilder()
+		s := items.Schema()
+		sel := b.ScanSelect(uot.SelectSpec{
+			Name: "scan", Base: items,
+			Pred:      uot.Ge(uot.Col(s, "price"), uot.Float(50)),
+			Proj:      []uot.Expr{uot.Col(s, "cat"), uot.Col(s, "price")},
+			ProjNames: []string{"cat", "price"},
+		})
+		agg := b.Agg(sel, uot.AggOpSpec{
+			Name:         "agg",
+			GroupBy:      []uot.Expr{uot.Col(sel.Schema, "cat")},
+			GroupByNames: []string{"cat"},
+			Aggs:         []uot.AggSpec{{Func: uot.Sum, Arg: uot.Col(sel.Schema, "price"), Name: "total"}},
+		})
+		srt := b.Sort(agg, uot.SortSpec{Name: "sort", Terms: []uot.SortTerm{{Key: uot.Col(agg.Schema, "cat")}}})
+		b.Collect(srt)
+		return b
+	}
+
+	for _, u := range []int{1, uot.UoTTable} {
+		res, err := uot.Execute(build(), uot.Options{Workers: 2, UoTBlocks: u})
+		if err != nil {
+			panic(err)
+		}
+		for _, row := range uot.Rows(res.Table) {
+			fmt.Printf("cat=%d total=%.0f\n", row[0].I, row[1].F)
+		}
+	}
+	// Output:
+	// cat=0 total=1850
+	// cat=1 total=1875
+	// cat=0 total=1850
+	// cat=1 total=1875
+}

@@ -1,0 +1,54 @@
+// prefetch_sim demonstrates the deterministic memory-hierarchy model that
+// stands in for hardware the paper controls via MSRs: toggling the modeled
+// prefetcher on and off (Section IV-D / Table VI) and watching how the cost
+// of sequential scans, cold intermediate reads, and random hash-table probes
+// responds. Run it, then flip the knobs and build intuition for why
+// prefetching helps scans and hurts probes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cachesim"
+)
+
+func main() {
+	threads := flag.Int("threads", 20, "modeled concurrent threads")
+	flag.Parse()
+
+	fmt.Printf("%-44s %14s %14s %8s\n", "access pattern", "prefetch ON", "prefetch OFF", "on/off")
+	row := func(label string, cost func(s *cachesim.Sim) int64) {
+		on := cachesim.New(cachesim.Default())
+		on.SetThreads(*threads)
+		off := cachesim.New(cachesim.Default())
+		off.SetThreads(*threads)
+		off.SetPrefetch(false)
+		a, b := cost(on), cost(off)
+		fmt.Printf("%-44s %12dns %12dns %8.2f\n", label, a, b, float64(a)/float64(b))
+	}
+
+	row("sequential scan of a 2 MiB base block", func(s *cachesim.Sim) int64 {
+		return s.ScannedBase(2 << 20)
+	})
+	row("cold read of a 128 KiB intermediate block", func(s *cachesim.Sim) int64 {
+		return s.ConsumedSeq("blk", 128<<10)
+	})
+	row("hot read of a 128 KiB intermediate block", func(s *cachesim.Sim) int64 {
+		s.Produced("blk", 128<<10)
+		return s.ConsumedSeq("blk", 128<<10)
+	})
+	row("10k probes of a 2 MiB (cache-resident) table", func(s *cachesim.Sim) int64 {
+		return s.RandomProbes(10000, 2<<20)
+	})
+	row("10k probes of a 100 MiB (memory) table", func(s *cachesim.Sim) int64 {
+		return s.RandomProbes(10000, 100<<20)
+	})
+
+	fmt.Println("\ntakeaways (all from Section V's cost structure):")
+	fmt.Println("  - prefetching slashes sequential costs (the select column of Table VI)")
+	fmt.Println("  - prefetching inflates random-miss costs via wasted speculative lines")
+	fmt.Println("    (the build/probe columns of Table VI)")
+	fmt.Println("  - a hot intermediate read costs a fraction of a cold one: that is the")
+	fmt.Println("    entire benefit low UoT values can ever deliver (Fig. 5)")
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Fig2Schedules reproduces Fig. 2: the same select→probe pair scheduled with
+// two UoT values (2 blocks vs. 4 blocks) at the same block size. The report
+// shows the realized work-order schedule (start-time order) for the filter
+// (σ) and probe (P) operators; as UoT grows the schedule degenerates into
+// the traditional non-pipelining "all σ, then all P" form.
+func (h *Harness) Fig2Schedules() (*Report, error) {
+	r := &Report{
+		ID:     "FIG2",
+		Title:  "Interplay between scheduling strategies and UoT values (Q3 select(lineitem)->probe(orders))",
+		Header: []string{"uot_blocks", "schedule (work orders in start order)"},
+	}
+	d := h.Dataset(128<<10, storage.ColumnStore)
+	for _, uot := range []int{2, 4, 16} {
+		b, err := tpch.Build(d, 3, tpch.QueryOpts{})
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.Execute(b, engine.Options{
+			Workers: 2, UoTBlocks: uot, TempBlockBytes: 128 << 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		orders := res.Run.Orders()
+		sort.Slice(orders, func(i, j int) bool { return orders[i].Start.Before(orders[j].Start) })
+		var seq []byte
+		for _, w := range orders {
+			switch w.OpName {
+			case "select(lineitem)":
+				seq = append(seq, 'S')
+			case "probe(orders)":
+				seq = append(seq, 'P')
+			}
+		}
+		r.AddRow(fmt.Sprintf("%d", uot), runLength(seq))
+	}
+	r.Note("S = select(lineitem) work order, P = probe(orders) work order; runs are compressed (S*3 = three consecutive S)")
+	r.Note("larger UoT pushes all P work orders behind the S work orders — the Fig. 2 non-pipelining schedule")
+	return r, nil
+}
+
+func runLength(seq []byte) string {
+	if len(seq) == 0 {
+		return "(empty)"
+	}
+	var sb strings.Builder
+	cur, n := seq[0], 1
+	flush := func() {
+		if n == 1 {
+			sb.WriteByte(cur)
+		} else {
+			fmt.Fprintf(&sb, "%c*%d", cur, n)
+		}
+		sb.WriteByte(' ')
+	}
+	for _, c := range seq[1:] {
+		if c == cur {
+			n++
+			continue
+		}
+		flush()
+		cur, n = c, 1
+	}
+	flush()
+	return strings.TrimSpace(sb.String())
+}

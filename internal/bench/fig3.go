@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Fig3OperatorBreakdown reproduces Fig. 3: the distribution of query time
+// across operators for every TPC-H query, run with a high UoT value (whole
+// table) so operator times do not overlap, on column-store base tables. The
+// paper's takeaway — several queries spend >50% of their time in a single,
+// usually leaf, operator — bounds how much a low UoT can ever help.
+func (h *Harness) Fig3OperatorBreakdown() (*Report, error) {
+	r := &Report{
+		ID:    "FIG3",
+		Title: "Distribution of time spent in operators (high UoT, column store)",
+		Header: []string{
+			"query", "dominant operator", "dom_%", "second operator", "2nd_%", "dominant_is_leaf",
+		},
+	}
+	d := h.Dataset(2<<20, storage.ColumnStore)
+	for _, num := range tpch.Numbers() {
+		res, err := h.run(d, num, engine.Options{
+			Workers: h.cfg.Workers, UoTBlocks: core.UoTTable, TempBlockBytes: 2 << 20,
+		}, tpch.QueryOpts{})
+		if err != nil {
+			return nil, err
+		}
+		per := res.Run.PerOp()
+		sort.Slice(per, func(i, j int) bool { return per[i].WallTotal > per[j].WallTotal })
+		var total time.Duration
+		for _, t := range per {
+			total += t.WallTotal
+		}
+		if total == 0 || len(per) == 0 {
+			continue
+		}
+		dom := per[0]
+		row := []string{
+			fmt.Sprintf("Q%02d", num),
+			dom.Name,
+			pct(float64(dom.WallTotal) / float64(total)),
+		}
+		if len(per) > 1 {
+			row = append(row, per[1].Name, pct(float64(per[1].WallTotal)/float64(total)))
+		} else {
+			row = append(row, "-", "-")
+		}
+		row = append(row, fmt.Sprintf("%v", isLeafOp(dom.Name)))
+		r.AddRow(row...)
+	}
+	r.Note("leaf operators read base tables directly (select/build/aggregate on a base table)")
+	return r, nil
+}
+
+// isLeafOp reports whether an operator name denotes a leaf (base-table)
+// operator in our TPC-H plans.
+func isLeafOp(name string) bool {
+	for _, t := range []string{"lineitem", "orders", "customer", "supplier", "part", "nation", "region", "cust_avg"} {
+		if name == "select("+t+")" {
+			return true
+		}
+	}
+	return false
+}

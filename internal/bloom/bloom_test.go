@@ -1,0 +1,79 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 10)
+	for i := int64(0); i < 10000; i++ {
+		f.Add(i * 3)
+	}
+	for i := int64(0); i < 10000; i++ {
+		if !f.MayContain(i * 3) {
+			t.Fatalf("false negative for %d", i*3)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 100000
+	f := New(n, 10)
+	for i := int64(0); i < n; i++ {
+		f.Add(i)
+	}
+	fp := 0
+	const probes = 100000
+	for i := int64(0); i < probes; i++ {
+		if f.MayContain(n + 1 + i*7919) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key with k=6 in a blocked filter should stay well under 5%.
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	check := func(seed int64, nKeys uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nKeys%5000) + 1
+		f := New(n, 10)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int63() - rng.Int63()
+			f.Add(keys[i])
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTinyFilter(t *testing.T) {
+	f := New(0, 0) // degenerate sizes clamp
+	f.Add(42)
+	if !f.MayContain(42) {
+		t.Fatal("tiny filter lost its key")
+	}
+	if f.Bytes() <= 0 {
+		t.Fatal("Bytes should be positive")
+	}
+}
+
+func TestBytesScalesWithN(t *testing.T) {
+	small, big := New(1000, 10), New(100000, 10)
+	if big.Bytes() <= small.Bytes() {
+		t.Fatalf("filter size should grow: %d vs %d", small.Bytes(), big.Bytes())
+	}
+}

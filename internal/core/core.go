@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: a Quickstep-style
+// push scheduler for relational work orders in which the unit of transfer
+// (UoT) between a producer and a consumer operator is an explicit parameter.
+//
+// A query is a DAG of operators connected by edges. Pipelined edges carry
+// storage blocks and have a UoT value: the scheduler buffers the producer's
+// output blocks per edge and hands them to the consumer only in groups of
+// UoT blocks (partially filled blocks are handed over when the producer
+// finishes, as in the paper). UoT = 1 block is what the literature calls
+// "pipelining"; UoT = the whole intermediate table is "blocking"; everything
+// in between is equally valid — the spectrum of Fig. 1. Blocking edges carry
+// no blocks and only order operators (hash-table readiness, scalar-subquery
+// values).
+package core
+
+import (
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// UoTTable is the UoT value meaning "the entire intermediate table": the
+// consumer sees no data until the producer operator has completely finished.
+const UoTTable = int(^uint(0) >> 1) // max int
+
+// OpID identifies an operator within a plan.
+type OpID int
+
+// ExecCtx carries the per-run execution environment into work orders.
+type ExecCtx struct {
+	// Pool is the global temporary-block pool (Section III-A).
+	Pool *storage.Pool
+	// Sim, if non-nil, is the memory-hierarchy model that work orders
+	// charge with their access summaries.
+	Sim *cachesim.Sim
+	// Run collects statistics.
+	Run *stats.Run
+	// Scalars holds scalar-subquery results by slot; the scheduler fills a
+	// slot when its providing operator finishes, strictly before any
+	// operator gated on it starts.
+	Scalars []types.Datum
+	// TempBlockBytes and TempFormat describe temporary output blocks. The
+	// paper uses the row-store format for temporaries regardless of the
+	// base-table format (Section IV-B).
+	TempBlockBytes int
+	TempFormat     storage.Format
+	// Workers is the number of worker threads (T in the model).
+	Workers int
+	// MemoryBudget, if positive, caps live temporary-block bytes softly:
+	// while exceeded, the scheduler stops dispatching block-producing work
+	// orders until in-flight consumers drain (a Section III-C scheduler
+	// policy).
+	MemoryBudget int64
+}
+
+// Output collects what one work-order execution produced: sealed full output
+// blocks, simulated ticks, and row counts.
+type Output struct {
+	Blocks  []*storage.Block
+	Sim     int64
+	RowsIn  int64
+	RowsOut int64
+}
+
+// WorkOrder is one schedulable unit of operator logic applied to specific
+// inputs (Section III).
+type WorkOrder interface {
+	// Run executes the work order. It must be safe to run concurrently
+	// with other work orders (of this and other operators).
+	Run(ctx *ExecCtx, out *Output)
+	// Inputs returns the intermediate blocks this work order consumes, for
+	// reference-counted release; nil for base-table inputs.
+	Inputs() []*storage.Block
+}
+
+// Operator is a relational operator node driven by the scheduler. All
+// methods except work-order Run are invoked from the single scheduler
+// goroutine, so implementations need no locking for their own state.
+type Operator interface {
+	// Name returns a short display name ("select(lineitem)").
+	Name() string
+	// NumInputs returns the number of pipelined input edges.
+	NumInputs() int
+	// Init prepares operator state (hash tables, accumulators).
+	Init(ctx *ExecCtx)
+	// Start is called once, when every blocking dependency of the operator
+	// has resolved; leaf operators return their full set of work orders.
+	Start(ctx *ExecCtx) []WorkOrder
+	// Feed delivers a group of blocks (one UoT) on a pipelined input and
+	// returns the work orders to process them.
+	Feed(ctx *ExecCtx, input int, blocks []*storage.Block) []WorkOrder
+	// Final is called once after all inputs are done and all previous work
+	// orders completed; blocking operators (aggregation, sort) return
+	// their finishing work orders.
+	Final(ctx *ExecCtx) []WorkOrder
+	// ScalarValue returns the operator's scalar result, if it provides one
+	// (valid only after the operator is done).
+	ScalarValue() (types.Datum, bool)
+	// AdoptsInputs reports whether the operator takes ownership of fed
+	// blocks (result collectors); adopted blocks are never recycled.
+	AdoptsInputs() bool
+	// Cleanup releases operator-owned resources; called when the operator
+	// and all work orders are finished.
+	Cleanup(ctx *ExecCtx)
+}
+
+// Base provides default implementations of the optional Operator methods.
+type Base struct{}
+
+// Init implements Operator.
+func (Base) Init(*ExecCtx) {}
+
+// Start implements Operator.
+func (Base) Start(*ExecCtx) []WorkOrder { return nil }
+
+// Feed implements Operator.
+func (Base) Feed(*ExecCtx, int, []*storage.Block) []WorkOrder { return nil }
+
+// Final implements Operator.
+func (Base) Final(*ExecCtx) []WorkOrder { return nil }
+
+// ScalarValue implements Operator.
+func (Base) ScalarValue() (types.Datum, bool) { return types.Datum{}, false }
+
+// AdoptsInputs implements Operator.
+func (Base) AdoptsInputs() bool { return false }
+
+// Cleanup implements Operator.
+func (Base) Cleanup(*ExecCtx) {}
+
+// EdgeKind distinguishes data-carrying from ordering-only edges.
+type EdgeKind uint8
+
+const (
+	// Pipelined edges carry blocks, grouped by the UoT value.
+	Pipelined EdgeKind = iota
+	// Blocking edges carry no blocks; the consumer cannot start until the
+	// producer operator is completely finished (build→probe readiness,
+	// scalar parameters, LIP filter availability).
+	Blocking
+)
+
+// Edge connects a producer operator to a consumer operator.
+type Edge struct {
+	From    OpID
+	To      OpID
+	ToInput int // pipelined input index at the consumer
+	Kind    EdgeKind
+	// UoT is the per-edge unit of transfer in blocks; 0 means "use the
+	// run's default", UoTTable means the whole intermediate table.
+	UoT int
+}
+
+// Plan is a DAG of operators. Operator IDs are indices into Ops.
+type Plan struct {
+	Ops   []Operator
+	Edges []Edge
+	// ScalarSlots maps scalar parameter slots to providing operators.
+	ScalarSlots []OpID
+	// MaxDOP, if non-zero for an operator ID, caps that operator's
+	// concurrent work orders (a scheduler policy hook, Section III-C).
+	MaxDOP map[OpID]int
+}
+
+// AddOp appends an operator and returns its ID.
+func (p *Plan) AddOp(op Operator) OpID {
+	p.Ops = append(p.Ops, op)
+	return OpID(len(p.Ops) - 1)
+}
+
+// Pipe adds a pipelined edge from producer to consumer input toInput with a
+// per-edge UoT override (0 = run default).
+func (p *Plan) Pipe(from, to OpID, toInput, uot int) {
+	p.Edges = append(p.Edges, Edge{From: from, To: to, ToInput: toInput, Kind: Pipelined, UoT: uot})
+}
+
+// Block adds a blocking (ordering-only) edge.
+func (p *Plan) Block(from, to OpID) {
+	p.Edges = append(p.Edges, Edge{From: from, To: to, Kind: Blocking})
+}
+
+// AddScalar registers op as the provider of a new scalar slot and returns
+// the slot index.
+func (p *Plan) AddScalar(op OpID) int {
+	p.ScalarSlots = append(p.ScalarSlots, op)
+	return len(p.ScalarSlots) - 1
+}
+
+// Emitter materializes an operator's output into temporary blocks via the
+// pool, sealing full blocks into the work order's Output and checking
+// partial blocks back in for the next work order of the same operator.
+type Emitter struct {
+	ctx    *ExecCtx
+	out    *Output
+	owner  int
+	schema *storage.Schema
+	cur    *storage.Block
+}
+
+// NewEmitter returns an emitter writing blocks of schema for operator owner.
+func NewEmitter(ctx *ExecCtx, out *Output, owner OpID, schema *storage.Schema) *Emitter {
+	return &Emitter{ctx: ctx, out: out, owner: int(owner), schema: schema}
+}
+
+func (e *Emitter) ensure() *storage.Block {
+	if e.cur == nil {
+		e.cur = e.ctx.Pool.CheckOut(e.owner, e.schema, e.ctx.TempFormat, e.ctx.TempBlockBytes)
+		if e.ctx.Run != nil {
+			e.ctx.Run.AddCheckout()
+		}
+	}
+	return e.cur
+}
+
+func (e *Emitter) seal() {
+	b := e.cur
+	e.cur = nil
+	e.out.Blocks = append(e.out.Blocks, b)
+	if e.ctx.Sim != nil {
+		e.out.Sim += e.ctx.Sim.Produced(b, int64(b.UsedBytes()))
+	}
+}
+
+// AppendRow appends a materialized row, sealing and replacing full blocks.
+func (e *Emitter) AppendRow(vals ...types.Datum) {
+	if !e.ensure().AppendRow(vals...) {
+		e.seal()
+		e.ensure().AppendRow(vals...)
+	}
+	e.out.RowsOut++
+}
+
+// AppendFrom appends a projection of a source row (see Block.AppendFrom).
+func (e *Emitter) AppendFrom(src *storage.Block, srcRow int, projIdx []int) {
+	if !e.ensure().AppendFrom(src, srcRow, projIdx) {
+		e.seal()
+		e.ensure().AppendFrom(src, srcRow, projIdx)
+	}
+	e.out.RowsOut++
+}
+
+// AppendRaw appends a two-sided join row (see Block.AppendRaw).
+func (e *Emitter) AppendRaw(l *storage.Block, lrow int, lproj []int, r *storage.Block, rrow int, rproj []int) {
+	if !e.ensure().AppendRaw(l, lrow, lproj, r, rrow, rproj) {
+		e.seal()
+		e.ensure().AppendRaw(l, lrow, lproj, r, rrow, rproj)
+	}
+	e.out.RowsOut++
+}
+
+// Close checks the current partial block back into the pool. Must be called
+// at the end of every work order that used the emitter.
+func (e *Emitter) Close() {
+	if e.cur == nil {
+		return
+	}
+	if e.cur.NumRows() == 0 {
+		e.ctx.Pool.Release(e.cur)
+		e.cur = nil
+		return
+	}
+	e.ctx.Pool.CheckIn(e.owner, e.cur)
+	e.cur = nil
+}
+
+// now is indirected for tests.
+var now = time.Now

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Run executes a plan: a single scheduler goroutine dispatches work orders
+// to ctx.Workers worker goroutines, routing producer output blocks to
+// consumers in groups of UoT blocks per pipelined edge (defaultUoT applies
+// to edges that do not override it). Run returns after every operator has
+// finished, or after the first work-order failure.
+func Run(plan *Plan, ctx *ExecCtx, defaultUoT int) error {
+	if defaultUoT <= 0 {
+		defaultUoT = 1
+	}
+	if ctx.Workers <= 0 {
+		ctx.Workers = 1
+	}
+	s := &sched{plan: plan, ctx: ctx}
+	s.build(defaultUoT)
+	return s.run()
+}
+
+type job struct {
+	op OpID
+	wo WorkOrder
+}
+
+type wres struct {
+	op     OpID
+	wo     WorkOrder
+	out    *Output
+	start  time.Time
+	end    time.Time
+	worker int
+	err    error
+}
+
+type edgeState struct {
+	e            Edge
+	uot          int
+	buf          []*storage.Block
+	producerDone bool
+	delivered    bool // inputsOpen decremented at consumer
+}
+
+type opState struct {
+	id          OpID
+	op          Operator
+	deps        int
+	inputsOpen  int
+	depth       int // longest pipelined-edge distance from a leaf
+	started     bool
+	inflight    int
+	queued      int
+	finalIssued bool
+	done        bool
+	maxDOP      int
+	out         []*edgeState
+	held        map[*storage.Block]struct{}
+	scalarSlots []int
+}
+
+type sched struct {
+	plan *Plan
+	ctx  *ExecCtx
+
+	states   []*opState
+	edges    []*edgeState
+	queue    []job
+	rc       map[*storage.Block]int
+	doneOps  int
+	inflight int
+	runErr   error
+
+	dispatch chan job
+	results  chan wres
+}
+
+func (s *sched) build(defaultUoT int) {
+	s.rc = make(map[*storage.Block]int)
+	s.states = make([]*opState, len(s.plan.Ops))
+	for i, op := range s.plan.Ops {
+		s.states[i] = &opState{
+			id:   OpID(i),
+			op:   op,
+			held: make(map[*storage.Block]struct{}),
+		}
+		if s.plan.MaxDOP != nil {
+			s.states[i].maxDOP = s.plan.MaxDOP[OpID(i)]
+		}
+	}
+	for _, e := range s.plan.Edges {
+		switch e.Kind {
+		case Pipelined:
+			uot := e.UoT
+			if uot == 0 {
+				uot = defaultUoT
+			}
+			es := &edgeState{e: e, uot: uot}
+			s.edges = append(s.edges, es)
+			s.states[e.From].out = append(s.states[e.From].out, es)
+			s.states[e.To].inputsOpen++
+		case Blocking:
+			es := &edgeState{e: e}
+			s.edges = append(s.edges, es)
+			s.states[e.From].out = append(s.states[e.From].out, es)
+			s.states[e.To].deps++
+		}
+	}
+	for slot, op := range s.plan.ScalarSlots {
+		s.states[op].scalarSlots = append(s.states[op].scalarSlots, slot)
+	}
+	// Operator depth orders dispatch: a consumer's work orders take
+	// priority over queued producer work orders, so with a low UoT a
+	// consumer runs "as soon as it is available" (Section III-C) instead
+	// of starving behind the producer's backlog. Plans are DAGs, so a
+	// fixed number of relaxation rounds converges.
+	for round := 0; round < len(s.states); round++ {
+		changed := false
+		for _, e := range s.plan.Edges {
+			if e.Kind != Pipelined {
+				continue
+			}
+			if d := s.states[e.From].depth + 1; d > s.states[e.To].depth {
+				s.states[e.To].depth = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (s *sched) run() error {
+	if n := len(s.plan.ScalarSlots); len(s.ctx.Scalars) < n {
+		s.ctx.Scalars = make([]types.Datum, n)
+	}
+	for _, st := range s.states {
+		st.op.Init(s.ctx)
+	}
+	for _, st := range s.states {
+		if st.deps == 0 {
+			s.startOp(st)
+		}
+	}
+
+	s.dispatch = make(chan job)
+	s.results = make(chan wres, s.ctx.Workers)
+	for w := 0; w < s.ctx.Workers; w++ {
+		go s.worker(w)
+	}
+	defer close(s.dispatch)
+
+	for s.doneOps < len(s.states) {
+		ji := s.pickJob()
+		if ji < 0 {
+			if s.inflight == 0 {
+				if s.runErr != nil {
+					return s.runErr
+				}
+				var stuck []string
+				for _, st := range s.states {
+					if !st.done {
+						stuck = append(stuck, fmt.Sprintf("%s{started=%v deps=%d inputsOpen=%d}",
+							st.op.Name(), st.started, st.deps, st.inputsOpen))
+					}
+				}
+				return fmt.Errorf("core: scheduler stalled with %d/%d operators done (plan bug: unreachable operator or missing edge): %v",
+					s.doneOps, len(s.states), stuck)
+			}
+			s.onComplete(<-s.results)
+			continue
+		}
+		j := s.queue[ji]
+		select {
+		case s.dispatch <- j:
+			s.queue = append(s.queue[:ji], s.queue[ji+1:]...)
+			s.states[j.op].queued--
+			s.states[j.op].inflight++
+			s.inflight++
+		case r := <-s.results:
+			s.onComplete(r)
+		}
+	}
+	// Drain any stragglers (only possible after an error cleared the queue).
+	for s.inflight > 0 {
+		s.onComplete(<-s.results)
+	}
+	return s.runErr
+}
+
+// pickJob returns the index of the dispatchable queued job belonging to the
+// deepest operator (consumer priority), breaking ties by queue order; -1 if
+// nothing is dispatchable. After an error, nothing is dispatchable.
+//
+// When a temp-memory budget is set (a Section III-C scheduler policy) and
+// live intermediate bytes exceed it, producer work orders — jobs of
+// operators that are not at maximal depth among the queued jobs — are held
+// back so consumers can drain buffered blocks first; if the queue holds only
+// producers, one is dispatched anyway to guarantee progress.
+func (s *sched) pickJob() int {
+	if s.runErr != nil {
+		return -1
+	}
+	best, bestDepth := -1, -1
+	for i, j := range s.queue {
+		st := s.states[j.op]
+		if st.maxDOP != 0 && st.inflight >= st.maxDOP {
+			continue
+		}
+		if st.depth > bestDepth {
+			best, bestDepth = i, st.depth
+		}
+	}
+	if best >= 0 && s.overBudget() && s.inflight > 0 && s.producesBlocks(s.queue[best].op) {
+		// Hold back block-producing work while over budget; the in-flight
+		// work orders (consumers, by depth priority) will complete,
+		// release their input blocks, and unblock the queue. inflight > 0
+		// guarantees progress.
+		return -1
+	}
+	return best
+}
+
+func (s *sched) overBudget() bool {
+	return s.ctx.MemoryBudget > 0 && s.ctx.Run != nil &&
+		s.ctx.Run.Intermediates.Live() > s.ctx.MemoryBudget
+}
+
+// producesBlocks reports whether an operator feeds pipelined consumers (its
+// output occupies temp-block memory until drained).
+func (s *sched) producesBlocks(id OpID) bool {
+	for _, es := range s.states[id].out {
+		if es.e.Kind == Pipelined {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sched) worker(id int) {
+	lastOp := OpID(-1)
+	for j := range s.dispatch {
+		out := &Output{}
+		if s.ctx.Sim != nil && j.op != lastOp {
+			// A worker switching operators re-fills the instruction
+			// cache: the IC term of the Section V model.
+			out.Sim += s.ctx.Sim.ContextSwitch()
+		}
+		lastOp = j.op
+		start := now()
+		err := runSafely(j.wo, s.ctx, out)
+		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id, err: err}
+	}
+}
+
+func runSafely(wo WorkOrder, ctx *ExecCtx, out *Output) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: work order panicked: %v", r)
+		}
+	}()
+	wo.Run(ctx, out)
+	return nil
+}
+
+func (s *sched) onComplete(r wres) {
+	st := s.states[r.op]
+	st.inflight--
+	s.inflight--
+	if r.err != nil && s.runErr == nil {
+		s.runErr = r.err
+		s.queue = nil
+		for _, o := range s.states {
+			o.queued = 0
+		}
+	}
+	if s.ctx.Run != nil {
+		s.ctx.Run.Record(stats.WorkOrder{
+			OpID:    int(r.op),
+			OpName:  st.op.Name(),
+			Worker:  r.worker,
+			Start:   r.start,
+			End:     r.end,
+			Sim:     r.out.Sim,
+			Rows:    r.out.RowsIn,
+			RowsOut: r.out.RowsOut,
+		})
+	}
+	// Release consumed intermediate blocks.
+	for _, b := range r.wo.Inputs() {
+		if _, ok := st.held[b]; ok {
+			delete(st.held, b)
+			s.decRef(b)
+		}
+	}
+	if s.runErr == nil {
+		s.emit(st, r.out.Blocks)
+	}
+	s.check(st)
+}
+
+// emit routes blocks produced by st into its outgoing pipelined edges.
+func (s *sched) emit(st *opState, blocks []*storage.Block) {
+	if len(blocks) == 0 {
+		return
+	}
+	// Reference count = number of non-adopting pipelined consumers.
+	refs := 0
+	for _, es := range st.out {
+		if es.e.Kind == Pipelined && !s.states[es.e.To].op.AdoptsInputs() {
+			refs++
+		}
+	}
+	for _, b := range blocks {
+		if refs > 0 {
+			s.rc[b] = refs
+		}
+	}
+	for _, es := range st.out {
+		if es.e.Kind != Pipelined {
+			continue
+		}
+		es.buf = append(es.buf, blocks...)
+		s.tryFlush(es)
+	}
+}
+
+// tryFlush hands buffered blocks to the consumer in UoT-sized groups.
+func (s *sched) tryFlush(es *edgeState) {
+	c := s.states[es.e.To]
+	if !c.started {
+		return
+	}
+	for es.uot != UoTTable && len(es.buf) >= es.uot {
+		chunk := es.buf[:es.uot:es.uot]
+		es.buf = es.buf[es.uot:]
+		s.deliver(c, es.e.ToInput, chunk)
+	}
+	if es.producerDone {
+		if len(es.buf) > 0 {
+			chunk := es.buf
+			es.buf = nil
+			s.deliver(c, es.e.ToInput, chunk)
+		}
+		if !es.delivered {
+			es.delivered = true
+			c.inputsOpen--
+			s.check(c)
+		}
+	}
+}
+
+func (s *sched) deliver(c *opState, input int, blocks []*storage.Block) {
+	if !c.op.AdoptsInputs() {
+		for _, b := range blocks {
+			if _, ok := s.rc[b]; ok {
+				c.held[b] = struct{}{}
+			}
+		}
+	}
+	s.enqueue(c, c.op.Feed(s.ctx, input, blocks))
+}
+
+func (s *sched) enqueue(st *opState, wos []WorkOrder) {
+	if s.runErr != nil {
+		return
+	}
+	for _, wo := range wos {
+		s.queue = append(s.queue, job{op: st.id, wo: wo})
+	}
+	st.queued += len(wos)
+}
+
+func (s *sched) startOp(st *opState) {
+	st.started = true
+	s.enqueue(st, st.op.Start(s.ctx))
+	for _, es := range s.edges {
+		if es.e.Kind == Pipelined && es.e.To == st.id {
+			s.tryFlush(es)
+		}
+	}
+	s.check(st)
+}
+
+// check advances an operator through final work orders to completion.
+func (s *sched) check(st *opState) {
+	if st.done || !st.started {
+		return
+	}
+	if st.inputsOpen > 0 || st.inflight > 0 || st.queued > 0 {
+		return
+	}
+	if !st.finalIssued {
+		st.finalIssued = true
+		if wos := st.op.Final(s.ctx); len(wos) > 0 {
+			s.enqueue(st, wos)
+			return
+		}
+	}
+	s.finish(st)
+}
+
+func (s *sched) finish(st *opState) {
+	st.done = true
+	s.doneOps++
+
+	// Publish scalar results before unblocking dependents.
+	for _, slot := range st.scalarSlots {
+		v, ok := st.op.ScalarValue()
+		if !ok {
+			if s.runErr == nil {
+				s.runErr = fmt.Errorf("core: operator %q registered for scalar slot %d produced no scalar", st.op.Name(), slot)
+			}
+		} else {
+			s.ctx.Scalars[slot] = v
+		}
+	}
+
+	// Partially-filled output blocks are transferred at operator end.
+	if s.runErr == nil {
+		parts := s.ctx.Pool.TakePartials(int(st.id))
+		s.emit(st, parts)
+	}
+
+	st.op.Cleanup(s.ctx)
+
+	for _, es := range st.out {
+		switch es.e.Kind {
+		case Pipelined:
+			es.producerDone = true
+			s.tryFlush(es)
+		case Blocking:
+			c := s.states[es.e.To]
+			c.deps--
+			if c.deps == 0 && !c.started {
+				s.startOp(c)
+			}
+		}
+	}
+
+	// Blocks this operator buffered but never consumed through work orders.
+	for b := range st.held {
+		delete(st.held, b)
+		s.decRef(b)
+	}
+}
+
+func (s *sched) decRef(b *storage.Block) {
+	n, ok := s.rc[b]
+	if !ok {
+		return
+	}
+	n--
+	if n > 0 {
+		s.rc[b] = n
+		return
+	}
+	delete(s.rc, b)
+	s.ctx.Pool.Release(b)
+	if s.ctx.Sim != nil {
+		s.ctx.Sim.Evict(b)
+	}
+}

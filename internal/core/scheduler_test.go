@@ -1,0 +1,408 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+var testSchema = storage.NewSchema(storage.Column{Name: "k", Type: types.Int64})
+
+func newCtx(workers int) *ExecCtx {
+	run := stats.NewRun()
+	return &ExecCtx{
+		Pool:           storage.NewPool(&run.Intermediates, run.AddCheckout),
+		Run:            run,
+		TempBlockBytes: 64,
+		TempFormat:     storage.RowStore,
+		Workers:        workers,
+	}
+}
+
+// producer emits nblocks blocks of rows each via its Start work orders.
+type producer struct {
+	Base
+	nblocks int
+	rows    int
+	perWO   int // blocks per work order (default 1)
+}
+
+func (p *producer) Name() string   { return "producer" }
+func (p *producer) NumInputs() int { return 0 }
+
+func (p *producer) Start(*ExecCtx) []WorkOrder {
+	per := p.perWO
+	if per <= 0 {
+		per = 1
+	}
+	var wos []WorkOrder
+	for i := 0; i < p.nblocks; i += per {
+		n := per
+		if i+n > p.nblocks {
+			n = p.nblocks - i
+		}
+		wos = append(wos, &produceWO{rows: p.rows, blocks: n, base: i})
+	}
+	return wos
+}
+
+type produceWO struct {
+	rows, blocks, base int
+}
+
+func (w *produceWO) Inputs() []*storage.Block { return nil }
+
+func (w *produceWO) Run(_ *ExecCtx, out *Output) {
+	for b := 0; b < w.blocks; b++ {
+		blk := storage.NewBlock(testSchema, storage.RowStore, w.rows*8)
+		for r := 0; r < w.rows; r++ {
+			blk.AppendRow(types.NewInt64(int64(w.base*w.rows + b*w.rows + r)))
+		}
+		out.Blocks = append(out.Blocks, blk)
+	}
+}
+
+// consumer records the size of every Feed group and counts rows via work
+// orders.
+type consumer struct {
+	Base
+	mu        sync.Mutex
+	feedSizes []int
+	rows      int64
+	started   time.Time
+	finalAt   time.Time
+}
+
+func (c *consumer) Name() string   { return "consumer" }
+func (c *consumer) NumInputs() int { return 1 }
+
+func (c *consumer) Start(*ExecCtx) []WorkOrder {
+	c.started = time.Now()
+	return nil
+}
+
+func (c *consumer) Feed(_ *ExecCtx, _ int, blocks []*storage.Block) []WorkOrder {
+	c.mu.Lock()
+	c.feedSizes = append(c.feedSizes, len(blocks))
+	c.mu.Unlock()
+	wos := make([]WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &consumeWO{c: c, b: b}
+	}
+	return wos
+}
+
+func (c *consumer) Final(*ExecCtx) []WorkOrder {
+	c.finalAt = time.Now()
+	return nil
+}
+
+type consumeWO struct {
+	c *consumer
+	b *storage.Block
+}
+
+func (w *consumeWO) Inputs() []*storage.Block { return []*storage.Block{w.b} }
+
+func (w *consumeWO) Run(_ *ExecCtx, out *Output) {
+	n := int64(w.b.NumRows())
+	atomic.AddInt64(&w.c.rows, n)
+	out.RowsIn = n
+}
+
+func pipePlan(p *producer, c *consumer, uot int) *Plan {
+	plan := &Plan{}
+	pid := plan.AddOp(p)
+	cid := plan.AddOp(c)
+	plan.Pipe(pid, cid, 0, uot)
+	return plan
+}
+
+func TestUoTBatching(t *testing.T) {
+	cases := []struct {
+		uot       int
+		blocks    int
+		wantFeeds []int
+	}{
+		{1, 5, []int{1, 1, 1, 1, 1}},
+		{2, 5, []int{2, 2, 1}}, // remainder at producer end
+		{3, 9, []int{3, 3, 3}},
+		{UoTTable, 5, []int{5}}, // whole intermediate table at once
+		{10, 5, []int{5}},       // UoT larger than output behaves like table
+	}
+	for _, tc := range cases {
+		p := &producer{nblocks: tc.blocks, rows: 4}
+		c := &consumer{}
+		if err := Run(pipePlan(p, c, tc.uot), newCtx(1), 1); err != nil {
+			t.Fatalf("uot=%d: %v", tc.uot, err)
+		}
+		if len(c.feedSizes) != len(tc.wantFeeds) {
+			t.Fatalf("uot=%d: feeds %v, want %v", tc.uot, c.feedSizes, tc.wantFeeds)
+		}
+		for i := range c.feedSizes {
+			if c.feedSizes[i] != tc.wantFeeds[i] {
+				t.Fatalf("uot=%d: feeds %v, want %v", tc.uot, c.feedSizes, tc.wantFeeds)
+			}
+		}
+		if c.rows != int64(tc.blocks*4) {
+			t.Fatalf("uot=%d: rows %d, want %d", tc.uot, c.rows, tc.blocks*4)
+		}
+	}
+}
+
+func TestDefaultUoTAppliesToUnsetEdges(t *testing.T) {
+	p := &producer{nblocks: 6, rows: 2}
+	c := &consumer{}
+	if err := Run(pipePlan(p, c, 0), newCtx(1), 3); err != nil { // edge UoT 0 -> default 3
+		t.Fatal(err)
+	}
+	if len(c.feedSizes) != 2 || c.feedSizes[0] != 3 {
+		t.Fatalf("feeds = %v, want [3 3]", c.feedSizes)
+	}
+}
+
+func TestEveryBlockDeliveredExactlyOnceConcurrent(t *testing.T) {
+	for _, uot := range []int{1, 2, 7, UoTTable} {
+		p := &producer{nblocks: 40, rows: 3}
+		c := &consumer{}
+		if err := Run(pipePlan(p, c, uot), newCtx(8), 1); err != nil {
+			t.Fatalf("uot=%d: %v", uot, err)
+		}
+		if c.rows != 120 {
+			t.Fatalf("uot=%d: rows = %d, want 120", uot, c.rows)
+		}
+		total := 0
+		for _, s := range c.feedSizes {
+			total += s
+		}
+		if total != 40 {
+			t.Fatalf("uot=%d: delivered %d blocks, want 40", uot, total)
+		}
+	}
+}
+
+// blockingConsumer observes when it is allowed to start.
+type gated struct {
+	Base
+	startedAt atomic.Int64
+}
+
+func (g *gated) Name() string   { return "gated" }
+func (g *gated) NumInputs() int { return 0 }
+func (g *gated) Start(*ExecCtx) []WorkOrder {
+	g.startedAt.Store(time.Now().UnixNano())
+	return nil
+}
+
+// slowProducer emits blocks with a delay so ordering is observable.
+type slowProducer struct {
+	producer
+	doneAt atomic.Int64
+}
+
+func (p *slowProducer) Name() string { return "slow" }
+func (p *slowProducer) Start(ctx *ExecCtx) []WorkOrder {
+	return []WorkOrder{&slowWO{p: p}}
+}
+
+type slowWO struct{ p *slowProducer }
+
+func (w *slowWO) Inputs() []*storage.Block { return nil }
+func (w *slowWO) Run(*ExecCtx, *Output) {
+	time.Sleep(20 * time.Millisecond)
+	w.p.doneAt.Store(time.Now().UnixNano())
+}
+
+func TestBlockingEdgeGatesStart(t *testing.T) {
+	plan := &Plan{}
+	sp := &slowProducer{}
+	g := &gated{}
+	pid := plan.AddOp(sp)
+	gid := plan.AddOp(g)
+	plan.Block(pid, gid)
+	if err := Run(plan, newCtx(4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.startedAt.Load() < sp.doneAt.Load() {
+		t.Fatal("gated operator started before its blocking dependency finished")
+	}
+}
+
+// scalarProvider provides a fixed scalar.
+type scalarProvider struct {
+	Base
+	v types.Datum
+}
+
+func (s *scalarProvider) Name() string                     { return "scalar" }
+func (s *scalarProvider) NumInputs() int                   { return 0 }
+func (s *scalarProvider) ScalarValue() (types.Datum, bool) { return s.v, true }
+
+// scalarReader asserts the scalar is visible when it starts.
+type scalarReader struct {
+	Base
+	slot int
+	got  types.Datum
+}
+
+func (s *scalarReader) Name() string   { return "reader" }
+func (s *scalarReader) NumInputs() int { return 0 }
+func (s *scalarReader) Start(ctx *ExecCtx) []WorkOrder {
+	s.got = ctx.Scalars[s.slot]
+	return nil
+}
+
+func TestScalarSlotFilledBeforeDependentStarts(t *testing.T) {
+	plan := &Plan{}
+	p := &scalarProvider{v: types.NewFloat64(42.5)}
+	pid := plan.AddOp(p)
+	slot := plan.AddScalar(pid)
+	r := &scalarReader{slot: slot}
+	rid := plan.AddOp(r)
+	plan.Block(pid, rid)
+	if err := Run(plan, newCtx(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.got.F != 42.5 {
+		t.Fatalf("scalar = %v, want 42.5", r.got)
+	}
+}
+
+func TestCycleReportsStall(t *testing.T) {
+	plan := &Plan{}
+	a := &gated{}
+	b := &gated{}
+	aid := plan.AddOp(a)
+	bid := plan.AddOp(b)
+	plan.Block(aid, bid)
+	plan.Block(bid, aid)
+	err := Run(plan, newCtx(2), 1)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("want stall error, got %v", err)
+	}
+}
+
+type panicOp struct{ Base }
+
+func (p *panicOp) Name() string   { return "panic" }
+func (p *panicOp) NumInputs() int { return 0 }
+func (p *panicOp) Start(*ExecCtx) []WorkOrder {
+	return []WorkOrder{panicWO{}}
+}
+
+type panicWO struct{}
+
+func (panicWO) Inputs() []*storage.Block { return nil }
+func (panicWO) Run(*ExecCtx, *Output)    { panic("boom") }
+
+func TestWorkOrderPanicBecomesError(t *testing.T) {
+	plan := &Plan{}
+	plan.AddOp(&panicOp{})
+	// A second healthy operator must not hang the run.
+	plan.AddOp(&producer{nblocks: 3, rows: 1})
+	err := Run(plan, newCtx(4), 1)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+// dopOp tracks its own concurrency.
+type dopOp struct {
+	Base
+	cur, max atomic.Int64
+	n        int
+}
+
+func (d *dopOp) Name() string   { return "dop" }
+func (d *dopOp) NumInputs() int { return 0 }
+func (d *dopOp) Start(*ExecCtx) []WorkOrder {
+	wos := make([]WorkOrder, d.n)
+	for i := range wos {
+		wos[i] = &dopWO{d: d}
+	}
+	return wos
+}
+
+type dopWO struct{ d *dopOp }
+
+func (w *dopWO) Inputs() []*storage.Block { return nil }
+func (w *dopWO) Run(*ExecCtx, *Output) {
+	c := w.d.cur.Add(1)
+	for {
+		m := w.d.max.Load()
+		if c <= m || w.d.max.CompareAndSwap(m, c) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	w.d.cur.Add(-1)
+}
+
+func TestMaxDOPCap(t *testing.T) {
+	plan := &Plan{}
+	d := &dopOp{n: 12}
+	id := plan.AddOp(d)
+	plan.MaxDOP = map[OpID]int{id: 2}
+	if err := Run(plan, newCtx(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.max.Load(); got > 2 {
+		t.Fatalf("observed DOP %d exceeds cap 2", got)
+	}
+	// And without the cap, 8 workers should overlap more than 2.
+	plan2 := &Plan{}
+	d2 := &dopOp{n: 12}
+	plan2.AddOp(d2)
+	if err := Run(plan2, newCtx(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.max.Load(); got <= 2 {
+		t.Logf("uncapped DOP only reached %d (scheduler timing); not fatal", got)
+	}
+}
+
+func TestStatsRecorded(t *testing.T) {
+	p := &producer{nblocks: 4, rows: 2}
+	c := &consumer{}
+	ctx := newCtx(2)
+	if err := Run(pipePlan(p, c, 1), ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	per := ctx.Run.PerOp()
+	if len(per) != 2 {
+		t.Fatalf("PerOp = %d entries", len(per))
+	}
+	if per[0].Count != 4 || per[1].Count != 4 {
+		t.Fatalf("work order counts: %+v", per)
+	}
+	if per[1].Rows != 8 {
+		t.Fatalf("consumer rows = %d", per[1].Rows)
+	}
+}
+
+func TestFanOutDeliversToAllConsumers(t *testing.T) {
+	plan := &Plan{}
+	p := &producer{nblocks: 6, rows: 2}
+	c1 := &consumer{}
+	c2 := &consumer{}
+	pid := plan.AddOp(p)
+	c1id := plan.AddOp(c1)
+	c2id := plan.AddOp(c2)
+	plan.Pipe(pid, c1id, 0, 2)
+	plan.Pipe(pid, c2id, 0, UoTTable)
+	if err := Run(plan, newCtx(4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if c1.rows != 12 || c2.rows != 12 {
+		t.Fatalf("fan-out rows: %d, %d", c1.rows, c2.rows)
+	}
+	if len(c2.feedSizes) != 1 || c2.feedSizes[0] != 6 {
+		t.Fatalf("table-UoT consumer feeds = %v", c2.feedSizes)
+	}
+}

@@ -1,0 +1,457 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// fixture builds fact(k, grp, v) with 1000 rows and dim(k, w) with 50 rows.
+// fact.k cycles 0..99, so half the fact keys join; grp cycles 0..4.
+func fixture(t *testing.T, format storage.Format, blockBytes int) (*DB, *storage.Table, *storage.Table) {
+	t.Helper()
+	db := NewDB(blockBytes, format)
+	fact := db.CreateTable("fact", storage.NewSchema(
+		storage.Column{Name: "k", Type: types.Int64},
+		storage.Column{Name: "grp", Type: types.Int64},
+		storage.Column{Name: "v", Type: types.Float64},
+	))
+	lf := storage.NewLoader(fact)
+	for i := 0; i < 1000; i++ {
+		lf.Append(types.NewInt64(int64(i%100)), types.NewInt64(int64(i%5)), types.NewFloat64(float64(i)/10))
+	}
+	lf.Close()
+	dim := db.CreateTable("dim", storage.NewSchema(
+		storage.Column{Name: "k", Type: types.Int64},
+		storage.Column{Name: "w", Type: types.Int64},
+	))
+	ld := storage.NewLoader(dim)
+	for i := 0; i < 50; i++ {
+		ld.Append(types.NewInt64(int64(i)), types.NewInt64(int64(i*2)))
+	}
+	ld.Close()
+	return db, fact, dim
+}
+
+// expectedJoinAgg computes the reference result: for fact rows with v >= 10
+// joined to dim (k < 50), per grp: count and sum(v).
+func expectedJoinAgg() map[int64][2]float64 {
+	out := map[int64][2]float64{}
+	for i := 0; i < 1000; i++ {
+		k, grp, v := int64(i%100), int64(i%5), float64(i)/10
+		if v < 10 || k >= 50 {
+			continue
+		}
+		e := out[grp]
+		e[0]++
+		e[1] += v
+		out[grp] = e
+	}
+	return out
+}
+
+func buildJoinAggPlan(fact, dim *storage.Table) *Builder {
+	b := NewBuilder()
+	fs, ds := fact.Schema(), dim.Schema()
+
+	selDim := b.ScanSelect(exec.SelectSpec{
+		Name: "sel_dim", Base: dim,
+		Proj:      []expr.Expr{expr.C(ds, "k"), expr.C(ds, "w")},
+		ProjNames: []string{"k", "w"},
+	})
+	bld, _ := b.Build(selDim, exec.BuildSpec{
+		Name: "build_dim", KeyCols: []int{0}, Payload: []int{1}, ExpectedRows: 50,
+	})
+	selFact := b.ScanSelect(exec.SelectSpec{
+		Name: "sel_fact", Base: fact,
+		Pred:      expr.Ge(expr.C(fs, "v"), expr.Float(10)),
+		Proj:      []expr.Expr{expr.C(fs, "k"), expr.C(fs, "grp"), expr.C(fs, "v")},
+		ProjNames: []string{"k", "grp", "v"},
+	})
+	probe := b.Probe(selFact, bld, exec.ProbeSpec{
+		Name: "probe_dim", KeyCols: []int{0},
+		ProbeProj: []int{1, 2}, BuildProj: []int{0},
+		Rename: []string{"grp", "v", "w"},
+	})
+	agg := b.Agg(probe, exec.AggOpSpec{
+		Name:         "agg",
+		GroupBy:      []expr.Expr{expr.C(probe.Schema, "grp")},
+		GroupByNames: []string{"grp"},
+		Aggs: []exec.AggSpec{
+			{Func: exec.Count, Name: "cnt"},
+			{Func: exec.Sum, Arg: expr.C(probe.Schema, "v"), Name: "sv"},
+		},
+	})
+	srt := b.Sort(agg, exec.SortSpec{
+		Name:  "sort",
+		Terms: []exec.SortTerm{{Key: expr.C(agg.Schema, "grp")}},
+	})
+	b.Collect(srt)
+	return b
+}
+
+func checkJoinAgg(t *testing.T, res *Result, label string) {
+	t.Helper()
+	want := expectedJoinAgg()
+	rows := Rows(res.Table)
+	if len(rows) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(rows), len(want))
+	}
+	for _, r := range rows {
+		grp := r[0].I
+		w := want[grp]
+		if r[1].I != int64(w[0]) {
+			t.Errorf("%s: grp %d count = %d, want %v", label, grp, r[1].I, w[0])
+		}
+		if diff := r[2].F - w[1]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: grp %d sum = %v, want %v", label, grp, r[2].F, w[1])
+		}
+	}
+}
+
+// TestJoinAggAcrossConfigurations is the central invariant: results are
+// identical across the whole UoT spectrum, worker counts, temp formats, and
+// block sizes.
+func TestJoinAggAcrossConfigurations(t *testing.T) {
+	for _, baseFormat := range []storage.Format{storage.ColumnStore, storage.RowStore} {
+		_, fact, dim := fixture(t, baseFormat, 512)
+		for _, uot := range []int{1, 2, 7, core.UoTTable} {
+			for _, workers := range []int{1, 4} {
+				for _, tempBytes := range []int{256, 4096} {
+					label := fmt.Sprintf("base=%v uot=%d T=%d temp=%d", baseFormat, uot, workers, tempBytes)
+					res, err := Execute(buildJoinAggPlan(fact, dim), Options{
+						Workers: workers, UoTBlocks: uot, TempBlockBytes: tempBytes,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					checkJoinAgg(t, res, label)
+				}
+			}
+		}
+	}
+}
+
+func joinTypePlan(fact, dim *storage.Table, jt exec.JoinType) *Builder {
+	b := NewBuilder()
+	fs, ds := fact.Schema(), dim.Schema()
+	selDim := b.ScanSelect(exec.SelectSpec{
+		Name: "sel_dim", Base: dim,
+		Proj:      []expr.Expr{expr.C(ds, "k")},
+		ProjNames: []string{"k"},
+	})
+	var payload []int
+	var buildProj []int
+	rename := []string{"k", "grp"}
+	if jt == exec.Inner || jt == exec.LeftOuter {
+		payload = []int{0}
+		buildProj = []int{0}
+		rename = []string{"k", "grp", "dk"}
+	}
+	bld, _ := b.Build(selDim, exec.BuildSpec{
+		Name: "build_dim", KeyCols: []int{0}, Payload: payload, ExpectedRows: 50,
+	})
+	selFact := b.ScanSelect(exec.SelectSpec{
+		Name: "sel_fact", Base: fact,
+		Pred:      expr.Lt(expr.C(fs, "k"), expr.Int(10)), // keep it small
+		Proj:      []expr.Expr{expr.C(fs, "k"), expr.C(fs, "grp")},
+		ProjNames: []string{"k", "grp"},
+	})
+	probe := b.Probe(selFact, bld, exec.ProbeSpec{
+		Name: "probe", KeyCols: []int{0}, JoinType: jt,
+		ProbeProj: []int{0, 1}, BuildProj: buildProj, Rename: rename,
+	})
+	b.Collect(probe)
+	return b
+}
+
+func TestJoinTypes(t *testing.T) {
+	_, fact, dimAll := fixture(t, storage.ColumnStore, 512)
+	_ = dimAll
+	// Rebuild a dim with keys 5..14 so some fact keys (0..9) miss.
+	db2 := NewDB(512, storage.ColumnStore)
+	dim := db2.CreateTable("dim2", storage.NewSchema(storage.Column{Name: "k", Type: types.Int64}))
+	ld := storage.NewLoader(dim)
+	for i := 5; i < 15; i++ {
+		ld.Append(types.NewInt64(int64(i)))
+	}
+	ld.Close()
+
+	// fact rows with k<10: k in 0..9, 10 rows each (1000/100).
+	counts := map[string]int{
+		"inner": 10 * 5, "semi": 10 * 5, "anti": 10 * 5, "outer": 10 * 10,
+	}
+	for jt, name := range map[exec.JoinType]string{
+		exec.Inner: "inner", exec.LeftSemi: "semi", exec.LeftAnti: "anti", exec.LeftOuter: "outer",
+	} {
+		res, err := Execute(joinTypePlan(fact, dim, jt), Options{Workers: 2, UoTBlocks: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := int(res.Table.NumRows())
+		if got != counts[name] {
+			t.Errorf("%s join rows = %d, want %d", name, got, counts[name])
+		}
+		// Semantics spot checks.
+		rows := Rows(res.Table)
+		for _, r := range rows {
+			k := r[0].I
+			inDim := k >= 5
+			switch jt {
+			case exec.LeftSemi:
+				if !inDim {
+					t.Errorf("semi emitted non-matching key %d", k)
+				}
+			case exec.LeftAnti:
+				if inDim {
+					t.Errorf("anti emitted matching key %d", k)
+				}
+			case exec.LeftOuter:
+				if !inDim && r[2].I != 0 {
+					t.Errorf("outer padding for key %d = %d", k, r[2].I)
+				}
+				if inDim && r[2].I != k {
+					t.Errorf("outer matched key %d carries dk %d", k, r[2].I)
+				}
+			}
+		}
+	}
+}
+
+func TestResidualPredicate(t *testing.T) {
+	// Join dim to itself: k = k AND build.w <> probe.k*2 (never true since
+	// w == 2k on the build side) — residual must kill every match.
+	_, _, dim := fixture(t, storage.ColumnStore, 512)
+	b := NewBuilder()
+	ds := dim.Schema()
+	sel1 := b.ScanSelect(exec.SelectSpec{
+		Name: "s1", Base: dim,
+		Proj: []expr.Expr{expr.C(ds, "k"), expr.C(ds, "w")}, ProjNames: []string{"k", "w"},
+	})
+	bld, bop := b.Build(sel1, exec.BuildSpec{Name: "b1", KeyCols: []int{0}, Payload: []int{1}, ExpectedRows: 50})
+	sel2 := b.ScanSelect(exec.SelectSpec{
+		Name: "s2", Base: dim,
+		Proj: []expr.Expr{expr.C(ds, "k")}, ProjNames: []string{"k"},
+	})
+	probe := b.Probe(sel2, bld, exec.ProbeSpec{
+		Name: "p", KeyCols: []int{0},
+		Residual:  expr.Ne(expr.C2(bop.PayloadSchema(), "w"), expr.MulE(expr.C(sel2.Schema, "k"), expr.Int(2))),
+		ProbeProj: []int{0}, BuildProj: []int{0}, Rename: []string{"k", "w"},
+	})
+	b.Collect(probe)
+	res, err := Execute(b, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 0 {
+		t.Fatalf("residual should eliminate all %d rows", res.Table.NumRows())
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	// SELECT count(*) FROM fact WHERE v > (SELECT avg(v) FROM fact)
+	_, fact, _ := fixture(t, storage.ColumnStore, 512)
+	fs := fact.Schema()
+	b := NewBuilder()
+
+	selAll := b.ScanSelect(exec.SelectSpec{
+		Name: "scan_all", Base: fact,
+		Proj: []expr.Expr{expr.C(fs, "v")}, ProjNames: []string{"v"},
+	})
+	avg := b.Agg(selAll, exec.AggOpSpec{
+		Name: "avg_v",
+		Aggs: []exec.AggSpec{{Func: exec.Avg, Arg: expr.C(selAll.Schema, "v"), Name: "a"}},
+	})
+	slot := b.Scalar(avg)
+
+	selBig := b.ScanSelect(exec.SelectSpec{
+		Name: "scan_big", Base: fact,
+		Pred: expr.Gt(expr.C(fs, "v"), expr.Param(slot, types.Float64)),
+		Proj: []expr.Expr{expr.C(fs, "k")}, ProjNames: []string{"k"},
+	})
+	b.Gate(avg, selBig)
+	cnt := b.Agg(selBig, exec.AggOpSpec{
+		Name: "cnt",
+		Aggs: []exec.AggSpec{{Func: exec.Count, Name: "c"}},
+	})
+	b.Collect(cnt)
+
+	res, err := Execute(b, Options{Workers: 3, UoTBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows(res.Table)
+	// avg(v) over 0..99.9 step .1 = 49.95; rows with v > 49.95: v=50.0..99.9 -> 500.
+	if len(rows) != 1 || rows[0][0].I != 500 {
+		t.Fatalf("scalar subquery count = %v, want 500", rows)
+	}
+}
+
+func TestLIPFilterPrunesBeforeMaterialization(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 512)
+	fs, ds := fact.Schema(), dim.Schema()
+
+	run := func(useLIP bool) (*Result, error) {
+		b := NewBuilder()
+		selDim := b.ScanSelect(exec.SelectSpec{
+			Name: "sel_dim", Base: dim,
+			Proj: []expr.Expr{expr.C(ds, "k"), expr.C(ds, "w")}, ProjNames: []string{"k", "w"},
+		})
+		bld, bop := b.Build(selDim, exec.BuildSpec{
+			Name: "build_dim", KeyCols: []int{0}, Payload: []int{1},
+			ExpectedRows: 50, BuildBloom: useLIP,
+		})
+		spec := exec.SelectSpec{
+			Name: "sel_fact", Base: fact,
+			Proj: []expr.Expr{expr.C(fs, "k"), expr.C(fs, "v")}, ProjNames: []string{"k", "v"},
+		}
+		if useLIP {
+			spec.LIPs = []exec.LIPRef{{Build: bop, KeyCol: fs.MustColIndex("k")}}
+		}
+		selFact := b.ScanSelect(spec)
+		probe := b.Probe(selFact, bld, exec.ProbeSpec{
+			Name: "probe", KeyCols: []int{0},
+			ProbeProj: []int{0, 1}, BuildProj: []int{0}, Rename: []string{"k", "v", "w"},
+		})
+		b.Collect(probe)
+		return Execute(b, Options{Workers: 2})
+	}
+
+	plain, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lip, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table.NumRows() != lip.Table.NumRows() {
+		t.Fatalf("LIP changed the result: %d vs %d rows", plain.Table.NumRows(), lip.Table.NumRows())
+	}
+	// The select feeding the probe must emit ~half the rows with LIP on
+	// (keys 50..99 dropped, modulo bloom false positives).
+	selOut := func(r *Result) int64 {
+		for _, op := range r.Run.PerOp() {
+			if op.Name == "sel_fact" {
+				return op.RowsOut
+			}
+		}
+		return -1
+	}
+	if plainOut, lipOut := selOut(plain), selOut(lip); lipOut > plainOut*6/10 {
+		t.Fatalf("LIP select emitted %d rows, plain %d — filter not pruning", lipOut, plainOut)
+	}
+}
+
+func TestMemoryGaugesTrackHashTablesAndIntermediates(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 512)
+	res, err := Execute(buildJoinAggPlan(fact, dim), Options{Workers: 2, UoTBlocks: 1, TempBlockBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.HashTables.High() <= 0 {
+		t.Error("hash-table high water should be positive")
+	}
+	if res.Run.Intermediates.High() <= 0 {
+		t.Error("intermediates high water should be positive")
+	}
+	if res.Run.HashTables.Live() != 0 {
+		t.Errorf("hash-table live after run = %d, want 0 (all released)", res.Run.HashTables.Live())
+	}
+	if res.Run.PoolCheckouts <= 0 {
+		t.Error("pool checkouts should be counted")
+	}
+}
+
+func TestSortLimitAndOrder(t *testing.T) {
+	_, fact, _ := fixture(t, storage.ColumnStore, 512)
+	fs := fact.Schema()
+	b := NewBuilder()
+	sel := b.ScanSelect(exec.SelectSpec{
+		Name: "scan", Base: fact,
+		Proj: []expr.Expr{expr.C(fs, "k"), expr.C(fs, "v")}, ProjNames: []string{"k", "v"},
+	})
+	srt := b.Sort(sel, exec.SortSpec{
+		Name:  "top",
+		Terms: []exec.SortTerm{{Key: expr.C(sel.Schema, "v"), Desc: true}, {Key: expr.C(sel.Schema, "k")}},
+		Limit: 7,
+	})
+	b.Collect(srt)
+	res, err := Execute(b, Options{Workers: 4, UoTBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows(res.Table)
+	if len(rows) != 7 {
+		t.Fatalf("limit: got %d rows", len(rows))
+	}
+	for i := 0; i < len(rows)-1; i++ {
+		if rows[i][1].F < rows[i+1][1].F {
+			t.Fatalf("sort order violated at %d: %v then %v", i, rows[i][1].F, rows[i+1][1].F)
+		}
+	}
+	if rows[0][1].F != 99.9 {
+		t.Fatalf("top value = %v, want 99.9", rows[0][1].F)
+	}
+}
+
+func TestHighUoTSchedulesProbesAfterSelects(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 512)
+	res, err := Execute(buildJoinAggPlan(fact, dim), Options{
+		Workers: 4, UoTBlocks: core.UoTTable, TempBlockBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSelEnd, firstProbeStart int64
+	for _, w := range res.Run.Orders() {
+		switch w.OpName {
+		case "sel_fact":
+			if e := w.End.UnixNano(); e > lastSelEnd {
+				lastSelEnd = e
+			}
+		case "probe_dim":
+			if s := w.Start.UnixNano(); firstProbeStart == 0 || s < firstProbeStart {
+				firstProbeStart = s
+			}
+		}
+	}
+	if firstProbeStart == 0 || lastSelEnd == 0 {
+		t.Fatal("missing work orders in stats")
+	}
+	if firstProbeStart < lastSelEnd {
+		t.Fatal("with UoT=table, probe work orders must start after the select finishes")
+	}
+}
+
+func TestEmptyInputsProduceEmptyOrZeroResults(t *testing.T) {
+	db := NewDB(512, storage.ColumnStore)
+	empty := db.CreateTable("empty", storage.NewSchema(
+		storage.Column{Name: "k", Type: types.Int64},
+		storage.Column{Name: "v", Type: types.Float64},
+	))
+	es := empty.Schema()
+	b := NewBuilder()
+	sel := b.ScanSelect(exec.SelectSpec{
+		Name: "scan", Base: empty,
+		Proj: []expr.Expr{expr.C(es, "v")}, ProjNames: []string{"v"},
+	})
+	agg := b.Agg(sel, exec.AggOpSpec{
+		Name: "agg",
+		Aggs: []exec.AggSpec{{Func: exec.Count, Name: "c"}, {Func: exec.Sum, Arg: expr.C(sel.Schema, "v"), Name: "s"}},
+	})
+	b.Collect(agg)
+	res, err := Execute(b, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows(res.Table)
+	if len(rows) != 1 || rows[0][0].I != 0 {
+		t.Fatalf("scalar agg over empty input = %v, want one zero row", rows)
+	}
+}

@@ -1,0 +1,394 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// AggFunc is an aggregation function.
+type AggFunc uint8
+
+// Aggregation functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Avg
+	Min
+	Max
+	// CountDistinct counts distinct Arg values per group (Q16's
+	// count(distinct ps_suppkey)).
+	CountDistinct
+)
+
+var aggNames = [...]string{"sum", "count", "avg", "min", "max", "count_distinct"}
+
+// AggSpec is one aggregate: a function over an argument expression (nil Arg
+// means COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	Name string
+}
+
+// AggOp is a hash aggregation operator. Work orders aggregate their input
+// block into a thread-local table and merge it into the shared table at the
+// end (so probe-style contention stays on the storage pool, not here); a
+// single final work order emits the result blocks. With no group-by
+// expressions the operator is a scalar aggregate and can feed a scalar
+// parameter slot.
+type AggOp struct {
+	core.Base
+	self     core.OpID
+	name     string
+	groupBy  []expr.Expr
+	aggs     []AggSpec
+	out      *storage.Schema
+	readCols []int
+
+	mu        sync.Mutex
+	groups    map[string]*aggGroup
+	memBytes  int64 // atomic: approximate live bytes of the aggregation table
+	scalarVal types.Datum
+	hasScalar bool
+}
+
+type aggGroup struct {
+	keys []types.Datum
+	acc  []accCell
+}
+
+type accCell struct {
+	sumF     float64
+	sumI     int64
+	count    int64
+	minmax   types.Datum
+	set      bool
+	distinct map[string]struct{} // CountDistinct only
+}
+
+// AggOpSpec configures NewAgg.
+type AggOpSpec struct {
+	Name string
+	// InputSchema is the pipelined input's schema.
+	InputSchema *storage.Schema
+	// GroupBy expressions with names; empty for a scalar aggregate.
+	GroupBy      []expr.Expr
+	GroupByNames []string
+	// Aggs are the aggregates to compute.
+	Aggs []AggSpec
+}
+
+// NewAgg builds an aggregation operator.
+func NewAgg(spec AggOpSpec) *AggOp {
+	if len(spec.Aggs) == 0 {
+		panic("exec: aggregation needs at least one aggregate")
+	}
+	cols := make([]storage.Column, 0, len(spec.GroupBy)+len(spec.Aggs))
+	gb := expr.OutputSchema(spec.GroupBy, spec.GroupByNames)
+	for i := range spec.GroupBy {
+		cols = append(cols, gb.Col(i))
+	}
+	for _, a := range spec.Aggs {
+		cols = append(cols, storage.Column{Name: a.Name, Type: aggType(a), Width: aggWidth(a)})
+	}
+	op := &AggOp{
+		name:    spec.Name,
+		groupBy: spec.GroupBy,
+		aggs:    spec.Aggs,
+		out:     storage.NewSchema(cols...),
+		groups:  make(map[string]*aggGroup),
+	}
+	all := append([]expr.Expr{}, spec.GroupBy...)
+	for _, a := range spec.Aggs {
+		if a.Arg != nil {
+			all = append(all, a.Arg)
+		}
+	}
+	op.readCols = expr.PrimaryCols(all...)
+	return op
+}
+
+func aggType(a AggSpec) types.TypeID {
+	switch a.Func {
+	case Count, CountDistinct:
+		return types.Int64
+	case Avg:
+		return types.Float64
+	case Sum:
+		if a.Arg.Type() == types.Int64 {
+			return types.Int64
+		}
+		return types.Float64
+	default: // Min, Max
+		return a.Arg.Type()
+	}
+}
+
+func aggWidth(a AggSpec) int {
+	if (a.Func == Min || a.Func == Max) && a.Arg.Type() == types.Char {
+		if c, ok := a.Arg.(*expr.ColRef); ok {
+			return c.Width
+		}
+		return 32
+	}
+	return 0
+}
+
+func (o *AggOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *AggOp) Name() string { return o.name }
+
+// NumInputs implements core.Operator.
+func (o *AggOp) NumInputs() int { return 1 }
+
+// OutSchema returns the result schema: group columns then aggregates.
+func (o *AggOp) OutSchema() *storage.Schema { return o.out }
+
+// Feed implements core.Operator.
+func (o *AggOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	wos := make([]core.WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &aggWO{op: o, block: b}
+	}
+	return wos
+}
+
+// Final implements core.Operator: a single work order emits the merged
+// groups.
+func (o *AggOp) Final(*core.ExecCtx) []core.WorkOrder {
+	return []core.WorkOrder{&aggFinalWO{op: o}}
+}
+
+// ScalarValue implements core.Operator: valid for scalar aggregates after
+// the final work order ran.
+func (o *AggOp) ScalarValue() (types.Datum, bool) { return o.scalarVal, o.hasScalar }
+
+// Cleanup implements core.Operator.
+func (o *AggOp) Cleanup(ctx *core.ExecCtx) {
+	if ctx.Run != nil {
+		ctx.Run.HashTables.Sub(atomic.LoadInt64(&o.memBytes))
+	}
+}
+
+// MemBytes returns the approximate aggregation-table footprint.
+func (o *AggOp) MemBytes() int64 { return atomic.LoadInt64(&o.memBytes) }
+
+type aggWO struct {
+	op    *AggOp
+	block *storage.Block
+}
+
+func (w *aggWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
+
+func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	b := w.block
+	n := b.NumRows()
+	out.RowsIn = int64(n)
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
+	}
+
+	local := make(map[string]*aggGroup)
+	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+	var keyBuf []byte
+	for r := 0; r < n; r++ {
+		ec.Row = r
+		keyBuf = keyBuf[:0]
+		keys := make([]types.Datum, len(o.groupBy))
+		for i, g := range o.groupBy {
+			keys[i] = g.Eval(&ec)
+			keyBuf = appendKey(keyBuf, keys[i])
+		}
+		g := local[string(keyBuf)]
+		if g == nil {
+			g = &aggGroup{keys: copyDatums(keys), acc: make([]accCell, len(o.aggs))}
+			local[string(keyBuf)] = g
+		}
+		for i, a := range o.aggs {
+			cell := &g.acc[i]
+			cell.count++
+			if a.Arg == nil {
+				continue
+			}
+			v := a.Arg.Eval(&ec)
+			switch a.Func {
+			case Sum, Avg:
+				cell.sumF += v.Float()
+				cell.sumI += v.I
+			case CountDistinct:
+				if cell.distinct == nil {
+					cell.distinct = make(map[string]struct{})
+				}
+				cell.distinct[string(appendKey(nil, v))] = struct{}{}
+			case Min:
+				if !cell.set || types.Compare(v, cell.minmax) < 0 {
+					cell.minmax = copyDatum(v)
+					cell.set = true
+				}
+			case Max:
+				if !cell.set || types.Compare(v, cell.minmax) > 0 {
+					cell.minmax = copyDatum(v)
+					cell.set = true
+				}
+			}
+		}
+	}
+	o.merge(ctx, local)
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.RandomProbes(int64(n), atomic.LoadInt64(&o.memBytes)+1)
+	}
+}
+
+func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
+	var grew int64
+	o.mu.Lock()
+	for k, g := range local {
+		tgt := o.groups[k]
+		if tgt == nil {
+			o.groups[k] = g
+			grew += int64(len(k)) + int64(len(g.acc))*48 + 48
+			continue
+		}
+		for i := range g.acc {
+			src, dst := &g.acc[i], &tgt.acc[i]
+			dst.count += src.count
+			dst.sumF += src.sumF
+			dst.sumI += src.sumI
+			if src.distinct != nil {
+				if dst.distinct == nil {
+					dst.distinct = src.distinct
+				} else {
+					for k := range src.distinct {
+						dst.distinct[k] = struct{}{}
+					}
+					grew += int64(len(src.distinct)) * 24
+				}
+			}
+			if src.set {
+				f := o.aggs[i].Func
+				if !dst.set || (f == Min && types.Compare(src.minmax, dst.minmax) < 0) ||
+					(f == Max && types.Compare(src.minmax, dst.minmax) > 0) {
+					dst.minmax = src.minmax
+					dst.set = true
+				}
+			}
+		}
+	}
+	o.mu.Unlock()
+	if grew != 0 {
+		atomic.AddInt64(&o.memBytes, grew)
+		if ctx.Run != nil {
+			ctx.Run.HashTables.Add(grew)
+		}
+	}
+}
+
+type aggFinalWO struct{ op *AggOp }
+
+func (w *aggFinalWO) Inputs() []*storage.Block { return nil }
+
+func (w *aggFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	if len(o.groupBy) == 0 && len(o.groups) == 0 {
+		// SQL: a scalar aggregate over empty input yields one row.
+		o.groups[""] = &aggGroup{acc: make([]accCell, len(o.aggs))}
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.out)
+	defer em.Close()
+	row := make([]types.Datum, o.out.NumCols())
+	for _, g := range o.groups {
+		copy(row, g.keys)
+		for i, a := range o.aggs {
+			row[len(g.keys)+i] = finishCell(a, &g.acc[i])
+		}
+		em.AppendRow(row...)
+		out.RowsIn++
+	}
+	if len(o.groupBy) == 0 {
+		for g := range o.groups {
+			o.scalarVal = finishCell(o.aggs[0], &o.groups[g].acc[0])
+			o.hasScalar = true
+		}
+	}
+}
+
+func finishCell(a AggSpec, c *accCell) types.Datum {
+	switch a.Func {
+	case Count:
+		return types.NewInt64(c.count)
+	case CountDistinct:
+		return types.NewInt64(int64(len(c.distinct)))
+	case Avg:
+		if c.count == 0 {
+			return types.NewFloat64(0)
+		}
+		return types.NewFloat64(c.sumF / float64(c.count))
+	case Sum:
+		if a.Arg.Type() == types.Int64 {
+			return types.NewInt64(c.sumI)
+		}
+		return types.NewFloat64(c.sumF)
+	default: // Min, Max
+		if !c.set {
+			return types.Datum{Ty: a.Arg.Type()}
+		}
+		return c.minmax
+	}
+}
+
+// appendKey serializes a datum into a group key, preserving equality.
+func appendKey(buf []byte, d types.Datum) []byte {
+	switch d.Ty {
+	case types.Char:
+		b := types.TrimPad(d.B)
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(b)))
+		buf = append(buf, 'c')
+		buf = append(buf, l[:]...)
+		return append(buf, b...)
+	case types.Float64:
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], uint64(int64(d.F*1e6))) // exact for TPC-H decimals
+		buf = append(buf, 'f')
+		return append(buf, v[:]...)
+	default:
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], uint64(d.I))
+		buf = append(buf, 'i')
+		return append(buf, v[:]...)
+	}
+}
+
+func copyDatum(d types.Datum) types.Datum {
+	if d.Ty == types.Char {
+		b := make([]byte, len(d.B))
+		copy(b, d.B)
+		d.B = b
+	}
+	return d
+}
+
+func copyDatums(ds []types.Datum) []types.Datum {
+	out := make([]types.Datum, len(ds))
+	for i, d := range ds {
+		out[i] = copyDatum(d)
+	}
+	return out
+}
+
+// String renders the operator.
+func (o *AggOp) String() string {
+	return fmt.Sprintf("agg(%s,%d groups,%d aggs)", o.name, len(o.groupBy), len(o.aggs))
+}
+
+// FuncName returns the display name of an aggregate function.
+func (f AggFunc) String() string { return aggNames[f] }

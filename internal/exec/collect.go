@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// CollectOp is the plan sink: it adopts every block fed to it into a result
+// table. Adopted blocks are never recycled, so the result stays valid after
+// the run.
+type CollectOp struct {
+	core.Base
+	result *storage.Table
+}
+
+// NewCollect builds a collector whose result table has the given schema.
+func NewCollect(schema *storage.Schema, blockBytes int, format storage.Format) *CollectOp {
+	return &CollectOp{result: storage.NewTable("result", schema, format, blockBytes)}
+}
+
+// Name implements core.Operator.
+func (o *CollectOp) Name() string { return "collect" }
+
+// NumInputs implements core.Operator.
+func (o *CollectOp) NumInputs() int { return 1 }
+
+// AdoptsInputs implements core.Operator.
+func (o *CollectOp) AdoptsInputs() bool { return true }
+
+// Feed implements core.Operator.
+func (o *CollectOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	for _, b := range blocks {
+		o.result.Append(b)
+	}
+	return nil
+}
+
+// Result returns the collected result table.
+func (o *CollectOp) Result() *storage.Table { return o.result }

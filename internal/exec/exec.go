@@ -1,0 +1,57 @@
+// Package exec implements the relational operators that run on the core
+// scheduler: select (scan + filter + project, with optional LIP sideways
+// filters), hash-join build and probe (inner, left outer, semi, anti, with
+// residual predicates), hash aggregation, sort with optional limit, and the
+// result collector. Each operator turns its inputs into block-granular work
+// orders; the unit of transfer between operators is entirely the scheduler's
+// business.
+package exec
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// selfID lets the plan builder hand each operator its own ID (needed for
+// temp-block pool ownership).
+type selfID interface{ setID(core.OpID) }
+
+// AddOp appends op to the plan and assigns its ID.
+func AddOp(p *core.Plan, op core.Operator) core.OpID {
+	id := p.AddOp(op)
+	if s, ok := op.(selfID); ok {
+		s.setID(id)
+	}
+	return id
+}
+
+// readBytes returns the bytes a scan of rows in b touches: only the
+// referenced columns for a column-store block, the full tuples for a
+// row-store block (non-referenced columns ride along in the same cache
+// lines — the Section IV-B effect).
+func readBytes(b *storage.Block, cols []int) int64 {
+	rows := int64(b.NumRows())
+	if b.Format() == storage.ColumnStore {
+		var w int64
+		for _, c := range cols {
+			w += int64(b.Schema().ColWidth(c))
+		}
+		return rows * w
+	}
+	return rows * int64(b.Schema().RowWidth())
+}
+
+// colRefsOnly returns the primary-side column indexes if every expression is
+// a plain Primary ColRef (the fast copy path), else nil.
+func colRefsOnly(exprs []expr.Expr) []int {
+	idx := make([]int, len(exprs))
+	for i, e := range exprs {
+		c, ok := e.(*expr.ColRef)
+		if !ok || c.S != expr.Primary {
+			return nil
+		}
+		idx[i] = c.Col
+	}
+	return idx
+}

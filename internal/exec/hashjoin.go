@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bloom"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/hashtable"
+	"repro/internal/storage"
+)
+
+// BuildHashOp consumes its input and builds a join hash table keyed on one
+// or two integer columns, storing a projection of the build side as the
+// per-entry payload. With BuildBloom set it also populates a bloom filter
+// over the first key column for LIP consumers.
+type BuildHashOp struct {
+	core.Base
+	self       core.OpID
+	name       string
+	keyCols    []int
+	payloadIdx []int
+	paySchema  *storage.Schema
+	expected   int
+	buildBloom bool
+	keyOnly    bool
+
+	ht       *hashtable.Table
+	filter   *bloom.Filter
+	bloomMu  sync.Mutex
+	readCols []int
+}
+
+// BuildSpec configures NewBuildHash.
+type BuildSpec struct {
+	Name string
+	// InputSchema is the build input's schema.
+	InputSchema *storage.Schema
+	// KeyCols are one or two key column indexes in the input.
+	KeyCols []int
+	// Payload are the input columns stored per entry (what downstream
+	// operators read from the build side). May be empty for semi/anti
+	// joins that need only existence.
+	Payload []int
+	// ExpectedRows sizes the hash table (and bloom filter).
+	ExpectedRows int
+	// BuildBloom also builds a LIP bloom filter on KeyCols[0].
+	BuildBloom bool
+}
+
+// NewBuildHash builds a hash-table build operator.
+func NewBuildHash(spec BuildSpec) *BuildHashOp {
+	if len(spec.KeyCols) == 0 || len(spec.KeyCols) > 2 {
+		panic("exec: build needs 1 or 2 key columns")
+	}
+	op := &BuildHashOp{
+		name:       spec.Name,
+		keyCols:    spec.KeyCols,
+		payloadIdx: spec.Payload,
+		paySchema:  spec.InputSchema.Project(spec.Payload),
+		expected:   spec.ExpectedRows,
+		buildBloom: spec.BuildBloom,
+		keyOnly:    len(spec.Payload) == 0,
+	}
+	op.readCols = append(append([]int{}, spec.KeyCols...), spec.Payload...)
+	return op
+}
+
+func (o *BuildHashOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *BuildHashOp) Name() string { return o.name }
+
+// NumInputs implements core.Operator.
+func (o *BuildHashOp) NumInputs() int { return 1 }
+
+// Start implements core.Operator: the hash table is allocated lazily when
+// the operator is unblocked, so staged ("one join at a time") plans hold
+// only the live join's table in memory — the accounting Table II of the
+// paper depends on.
+func (o *BuildHashOp) Start(ctx *core.ExecCtx) []core.WorkOrder {
+	cfg := hashtable.Config{PayloadSchema: o.paySchema, InitialCapacity: o.expected}
+	if ctx.Run != nil {
+		cfg.Gauge = &ctx.Run.HashTables
+	}
+	o.ht = hashtable.New(cfg)
+	if o.buildBloom {
+		n := o.expected
+		if n < 1024 {
+			n = 1024
+		}
+		o.filter = bloom.New(n, 10)
+	}
+	return nil
+}
+
+// HT returns the hash table (valid for probing once this operator is done).
+func (o *BuildHashOp) HT() *hashtable.Table { return o.ht }
+
+// Bloom returns the LIP filter (nil unless BuildBloom was set).
+func (o *BuildHashOp) Bloom() *bloom.Filter { return o.filter }
+
+// PayloadSchema returns the schema of per-entry payload tuples.
+func (o *BuildHashOp) PayloadSchema() *storage.Schema { return o.paySchema }
+
+// Feed implements core.Operator.
+func (o *BuildHashOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	wos := make([]core.WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &buildWO{op: o, block: b}
+	}
+	return wos
+}
+
+type buildWO struct {
+	op    *BuildHashOp
+	block *storage.Block
+}
+
+func (w *buildWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
+
+func (w *buildWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	b := w.block
+	n := b.NumRows()
+	out.RowsIn = int64(n)
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
+	}
+	for r := 0; r < n; r++ {
+		k0 := b.Int64At(o.keyCols[0], r)
+		var k1 int64
+		if len(o.keyCols) == 2 {
+			k1 = b.Int64At(o.keyCols[1], r)
+		}
+		if o.keyOnly {
+			o.ht.InsertKeyOnly(k0, k1)
+		} else {
+			o.ht.Insert(k0, k1, b, r, o.payloadIdx)
+		}
+		if o.filter != nil {
+			o.bloomMu.Lock()
+			o.filter.Add(k0)
+			o.bloomMu.Unlock()
+		}
+	}
+	if ctx.Sim != nil {
+		// Hash-table inserts are random writes against the growing table.
+		out.Sim += ctx.Sim.RandomProbes(int64(n), o.ht.UsedBytes())
+	}
+	out.RowsOut = int64(n)
+}
+
+// String renders the operator.
+func (o *BuildHashOp) String() string { return fmt.Sprintf("build_hash(%s)", o.name) }
+
+// JoinType selects the probe semantics. All variants preserve the probe
+// side, so no shared match state is needed across work orders.
+type JoinType uint8
+
+const (
+	// Inner emits one output row per (probe row, matching build row).
+	Inner JoinType = iota
+	// LeftOuter emits every probe row; unmatched rows zero-fill the build
+	// columns.
+	LeftOuter
+	// LeftSemi emits probe rows with at least one match.
+	LeftSemi
+	// LeftAnti emits probe rows with no match.
+	LeftAnti
+)
+
+// String returns the SQL-ish join name.
+func (j JoinType) String() string {
+	switch j {
+	case Inner:
+		return "inner"
+	case LeftOuter:
+		return "left_outer"
+	case LeftSemi:
+		return "semi"
+	case LeftAnti:
+		return "anti"
+	default:
+		return "join?"
+	}
+}
+
+// ProbeOp probes a build operator's hash table with its pipelined input.
+// The plan must add a blocking edge build→probe; the probe releases the hash
+// table when it finishes.
+type ProbeOp struct {
+	core.Base
+	self      core.OpID
+	name      string
+	build     *BuildHashOp
+	keyCols   []int
+	joinType  JoinType
+	residual  expr.Expr // over Ctx{B: probe row, B2: build payload row}
+	probeProj []int
+	buildProj []int
+	out       *storage.Schema
+	readCols  []int
+}
+
+// ProbeSpec configures NewProbe.
+type ProbeSpec struct {
+	Name string
+	// Build is the operator whose hash table is probed.
+	Build *BuildHashOp
+	// InputSchema is the probe input's schema.
+	InputSchema *storage.Schema
+	// KeyCols are the probe-side key columns (must match the build's key
+	// arity).
+	KeyCols []int
+	// JoinType selects the semantics (default Inner).
+	JoinType JoinType
+	// Residual is an extra join predicate evaluated over the (probe,
+	// build-payload) row pair; may be nil.
+	Residual expr.Expr
+	// ProbeProj / BuildProj are the output columns taken from each side;
+	// BuildProj indexes the build payload schema and must be empty for
+	// semi/anti joins.
+	ProbeProj []int
+	BuildProj []int
+	// Rename, if non-empty, renames the output columns (probe columns
+	// first, then build columns).
+	Rename []string
+}
+
+// NewProbe builds a probe operator.
+func NewProbe(spec ProbeSpec) *ProbeOp {
+	if (spec.JoinType == LeftSemi || spec.JoinType == LeftAnti) && len(spec.BuildProj) > 0 {
+		panic("exec: semi/anti joins cannot project build columns")
+	}
+	cols := make([]storage.Column, 0, len(spec.ProbeProj)+len(spec.BuildProj))
+	for _, c := range spec.ProbeProj {
+		cols = append(cols, spec.InputSchema.Col(c))
+	}
+	pay := spec.Build.PayloadSchema()
+	for _, c := range spec.BuildProj {
+		cols = append(cols, pay.Col(c))
+	}
+	if len(spec.Rename) > 0 {
+		if len(spec.Rename) != len(cols) {
+			panic("exec: Rename length mismatch")
+		}
+		for i := range cols {
+			cols[i].Name = spec.Rename[i]
+		}
+	}
+	op := &ProbeOp{
+		name:      spec.Name,
+		build:     spec.Build,
+		keyCols:   spec.KeyCols,
+		joinType:  spec.JoinType,
+		residual:  spec.Residual,
+		probeProj: spec.ProbeProj,
+		buildProj: spec.BuildProj,
+		out:       storage.NewSchema(cols...),
+	}
+	op.readCols = append(append([]int{}, spec.KeyCols...), spec.ProbeProj...)
+	op.readCols = append(op.readCols, expr.PrimaryCols(spec.Residual)...)
+	return op
+}
+
+func (o *ProbeOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *ProbeOp) Name() string { return o.name }
+
+// NumInputs implements core.Operator.
+func (o *ProbeOp) NumInputs() int { return 1 }
+
+// OutSchema returns the joined output schema.
+func (o *ProbeOp) OutSchema() *storage.Schema { return o.out }
+
+// Feed implements core.Operator.
+func (o *ProbeOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	wos := make([]core.WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &probeWO{op: o, block: b}
+	}
+	return wos
+}
+
+// Cleanup implements core.Operator: the probe is the hash table's consumer
+// and releases its memory.
+func (o *ProbeOp) Cleanup(*core.ExecCtx) { o.build.HT().Release() }
+
+type probeWO struct {
+	op    *ProbeOp
+	block *storage.Block
+}
+
+func (w *probeWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
+
+func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	b := w.block
+	ht := o.build.HT()
+	n := b.NumRows()
+	out.RowsIn = int64(n)
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.out)
+	defer em.Close()
+	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+	for r := 0; r < n; r++ {
+		k0 := b.Int64At(o.keyCols[0], r)
+		var k1 int64
+		if len(o.keyCols) == 2 {
+			k1 = b.Int64At(o.keyCols[1], r)
+		}
+		matched := false
+		ht.Lookup(k0, k1, func(pb *storage.Block, prow int) bool {
+			if o.residual != nil {
+				ec.Row, ec.B2, ec.Row2 = r, pb, prow
+				if o.residual.Eval(&ec).I == 0 {
+					return true // keep scanning duplicates
+				}
+			}
+			matched = true
+			switch o.joinType {
+			case Inner, LeftOuter:
+				em.AppendRaw(b, r, o.probeProj, pb, prow, o.buildProj)
+				return true
+			default: // semi/anti need only existence
+				return false
+			}
+		})
+		switch o.joinType {
+		case LeftSemi:
+			if matched {
+				em.AppendFrom(b, r, o.probeProj)
+			}
+		case LeftAnti:
+			if !matched {
+				em.AppendFrom(b, r, o.probeProj)
+			}
+		case LeftOuter:
+			if !matched {
+				em.AppendRaw(b, r, o.probeProj, nil, 0, o.buildProj)
+			}
+		}
+	}
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.RandomProbes(int64(n), ht.UsedBytes())
+	}
+}
+
+// String renders the operator.
+func (o *ProbeOp) String() string {
+	return fmt.Sprintf("probe(%s,%s)", o.name, o.joinType)
+}

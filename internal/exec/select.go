@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// LIPRef attaches a lookahead-information-passing bloom filter to a select
+// operator: tuples whose key column misses the filter of a downstream join's
+// build side are dropped before materialization [Zhu et al.]. The referenced
+// build operator must be connected to the select with a blocking edge so the
+// filter is complete before the scan starts.
+type LIPRef struct {
+	Build  *BuildHashOp
+	KeyCol int
+}
+
+// SelectOp scans a base table or a pipelined input, applies an optional
+// predicate and LIP filters, and materializes a projection. It is the
+// producer of every pipeline in the TPC-H plans, and — with a nil predicate
+// — doubles as a projection/compute operator.
+type SelectOp struct {
+	core.Base
+	self      core.OpID
+	name      string
+	base      *storage.Table // nil when fed by a pipelined input
+	pred      expr.Expr      // may be nil
+	projExprs []expr.Expr
+	projIdx   []int // fast path: all projections are plain column refs
+	readCols  []int // referenced columns, for cache-model charging
+	lips      []LIPRef
+	out       *storage.Schema
+}
+
+// SelectSpec configures NewSelect.
+type SelectSpec struct {
+	Name string
+	// Base is the table to scan; leave nil for a pipelined input.
+	Base *storage.Table
+	// InputSchema is the pipelined input's schema (required when Base is
+	// nil).
+	InputSchema *storage.Schema
+	// Pred filters rows (nil keeps all).
+	Pred expr.Expr
+	// Proj are the output expressions, named by ProjNames.
+	Proj      []expr.Expr
+	ProjNames []string
+	// LIPs are sideways bloom filters applied after Pred.
+	LIPs []LIPRef
+}
+
+// NewSelect builds a select operator.
+func NewSelect(spec SelectSpec) *SelectOp {
+	if len(spec.Proj) == 0 {
+		panic("exec: select needs at least one projection")
+	}
+	if len(spec.Proj) != len(spec.ProjNames) {
+		panic("exec: Proj and ProjNames lengths differ")
+	}
+	op := &SelectOp{
+		name:      spec.Name,
+		base:      spec.Base,
+		pred:      spec.Pred,
+		projExprs: spec.Proj,
+		lips:      spec.LIPs,
+		out:       expr.OutputSchema(spec.Proj, spec.ProjNames),
+	}
+	op.projIdx = colRefsOnly(spec.Proj)
+	all := append([]expr.Expr{spec.Pred}, spec.Proj...)
+	op.readCols = expr.PrimaryCols(all...)
+	for _, l := range spec.LIPs {
+		op.readCols = append(op.readCols, l.KeyCol)
+	}
+	return op
+}
+
+func (o *SelectOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *SelectOp) Name() string { return o.name }
+
+// NumInputs implements core.Operator.
+func (o *SelectOp) NumInputs() int {
+	if o.base != nil {
+		return 0
+	}
+	return 1
+}
+
+// OutSchema returns the schema of the operator's output blocks.
+func (o *SelectOp) OutSchema() *storage.Schema { return o.out }
+
+// Start implements core.Operator: a base-table select emits one work order
+// per storage block of the table.
+func (o *SelectOp) Start(*core.ExecCtx) []core.WorkOrder {
+	if o.base == nil {
+		return nil
+	}
+	blocks := o.base.Blocks()
+	wos := make([]core.WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &selectWO{op: o, block: b, isBase: true}
+	}
+	return wos
+}
+
+// Feed implements core.Operator: one work order per delivered block.
+func (o *SelectOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	wos := make([]core.WorkOrder, len(blocks))
+	for i, b := range blocks {
+		wos[i] = &selectWO{op: o, block: b}
+	}
+	return wos
+}
+
+type selectWO struct {
+	op     *SelectOp
+	block  *storage.Block
+	isBase bool
+}
+
+func (w *selectWO) Inputs() []*storage.Block {
+	if w.isBase {
+		return nil
+	}
+	return []*storage.Block{w.block}
+}
+
+func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	b := w.block
+	n := b.NumRows()
+	out.RowsIn = int64(n)
+	if ctx.Sim != nil {
+		bytes := readBytes(b, o.readCols)
+		if w.isBase {
+			out.Sim += ctx.Sim.ScannedBase(bytes)
+		} else {
+			out.Sim += ctx.Sim.ConsumedSeq(b, bytes)
+		}
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.out)
+	defer em.Close()
+	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+	var lipProbes int64
+rows:
+	for r := 0; r < n; r++ {
+		ec.Row = r
+		if o.pred != nil && o.pred.Eval(&ec).I == 0 {
+			continue
+		}
+		for _, l := range o.lips {
+			lipProbes++
+			if !l.Build.Bloom().MayContain(b.Int64At(l.KeyCol, r)) {
+				continue rows
+			}
+		}
+		if o.projIdx != nil {
+			em.AppendFrom(b, r, o.projIdx)
+		} else {
+			em.AppendRow(expr.EvalRow(o.projExprs, b, r, ctx.Scalars)...)
+		}
+	}
+	if ctx.Sim != nil && lipProbes > 0 && len(o.lips) > 0 {
+		// Bloom filters are small; probes are effectively L3-resident.
+		out.Sim += ctx.Sim.RandomProbes(lipProbes, o.lips[0].Build.Bloom().Bytes())
+	}
+}
+
+// String renders the operator for plan display.
+func (o *SelectOp) String() string {
+	src := "pipe"
+	if o.base != nil {
+		src = o.base.Name()
+	}
+	pred := ""
+	if o.pred != nil {
+		pred = " WHERE " + o.pred.String()
+	}
+	return fmt.Sprintf("select(%s)%s", src, pred)
+}

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// SortTerm is one ORDER BY term.
+type SortTerm struct {
+	Key  expr.Expr
+	Desc bool
+}
+
+// SortOp is a blocking sort with an optional LIMIT: it buffers its whole
+// input (sort is inherently UoT = table, as the paper notes in Section V-B),
+// sorts in a single final work order, and emits the ordered prefix.
+type SortOp struct {
+	core.Base
+	self   core.OpID
+	name   string
+	terms  []SortTerm
+	limit  int
+	schema *storage.Schema
+	blocks []*storage.Block
+}
+
+// SortSpec configures NewSort.
+type SortSpec struct {
+	Name string
+	// InputSchema is the input (and output) schema.
+	InputSchema *storage.Schema
+	// Terms are the ORDER BY keys, highest priority first.
+	Terms []SortTerm
+	// Limit truncates the output (0 = no limit).
+	Limit int
+}
+
+// NewSort builds a sort operator.
+func NewSort(spec SortSpec) *SortOp {
+	if len(spec.Terms) == 0 {
+		panic("exec: sort needs at least one term")
+	}
+	return &SortOp{name: spec.Name, terms: spec.Terms, limit: spec.Limit, schema: spec.InputSchema}
+}
+
+func (o *SortOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *SortOp) Name() string { return o.name }
+
+// NumInputs implements core.Operator.
+func (o *SortOp) NumInputs() int { return 1 }
+
+// OutSchema returns the output schema (same as input).
+func (o *SortOp) OutSchema() *storage.Schema { return o.schema }
+
+// Feed implements core.Operator: sort only buffers; the scheduler releases
+// the buffered blocks after the operator finishes.
+func (o *SortOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	o.blocks = append(o.blocks, blocks...)
+	return nil
+}
+
+// Final implements core.Operator.
+func (o *SortOp) Final(*core.ExecCtx) []core.WorkOrder {
+	return []core.WorkOrder{&sortWO{op: o}}
+}
+
+type sortWO struct{ op *SortOp }
+
+func (w *sortWO) Inputs() []*storage.Block { return nil }
+
+type sortRow struct {
+	blk  int
+	row  int
+	keys []types.Datum
+}
+
+func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	var rows []sortRow
+	ec := expr.Ctx{Scalars: ctx.Scalars}
+	for bi, b := range o.blocks {
+		ec.B = b
+		if ctx.Sim != nil {
+			out.Sim += ctx.Sim.ConsumedSeq(b, int64(b.UsedBytes()))
+		}
+		for r := 0; r < b.NumRows(); r++ {
+			ec.Row = r
+			keys := make([]types.Datum, len(o.terms))
+			for i, t := range o.terms {
+				keys[i] = copyDatum(t.Key.Eval(&ec))
+			}
+			rows = append(rows, sortRow{blk: bi, row: r, keys: keys})
+		}
+	}
+	out.RowsIn = int64(len(rows))
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, t := range o.terms {
+			c := types.Compare(rows[i].keys[k], rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if t.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if o.limit > 0 && len(rows) > o.limit {
+		rows = rows[:o.limit]
+	}
+
+	ident := make([]int, o.schema.NumCols())
+	for i := range ident {
+		ident[i] = i
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.schema)
+	defer em.Close()
+	for _, r := range rows {
+		em.AppendFrom(o.blocks[r.blk], r.row, ident)
+	}
+	o.blocks = nil
+}
+
+// String renders the operator.
+func (o *SortOp) String() string {
+	s := fmt.Sprintf("sort(%s,%d terms)", o.name, len(o.terms))
+	if o.limit > 0 {
+		s += fmt.Sprintf(" limit %d", o.limit)
+	}
+	return s
+}

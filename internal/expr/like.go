@@ -1,0 +1,74 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// LikeExpr matches a Char expression against a SQL LIKE pattern supporting
+// '%' (any run) and '_' (any single byte). TPC-H predicates such as
+// '%special%requests%' (Q13) and 'PROMO%' (Q14) use it.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Like builds x LIKE pattern.
+func Like(x Expr, pattern string) *LikeExpr { return &LikeExpr{X: x, Pattern: pattern} }
+
+// NotLike builds x NOT LIKE pattern.
+func NotLike(x Expr, pattern string) *LikeExpr {
+	return &LikeExpr{X: x, Pattern: pattern, Negate: true}
+}
+
+// Type implements Expr.
+func (e *LikeExpr) Type() types.TypeID { return types.Int64 }
+
+// Eval implements Expr.
+func (e *LikeExpr) Eval(c *Ctx) types.Datum {
+	ok := likeMatch(e.X.Eval(c).Bytes(), e.Pattern)
+	if e.Negate {
+		ok = !ok
+	}
+	return boolDatum(ok)
+}
+
+// String implements Expr.
+func (e *LikeExpr) String() string {
+	op := "LIKE"
+	if e.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s '%s'", e.X, op, e.Pattern)
+}
+
+// likeMatch implements LIKE with the standard two-pointer backtracking
+// algorithm: on a mismatch after a '%', the pattern resumes at the character
+// after that '%' and the text advances one byte.
+func likeMatch(s []byte, p string) bool {
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

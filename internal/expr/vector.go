@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Block-at-a-time helpers. Operators evaluate predicates and projections
+// over whole blocks (the vectorized processing style of Section III of the
+// paper) rather than pulling one tuple through the whole plan.
+
+// FilterBlock evaluates pred over every row of b and returns the matching
+// row IDs. scalars supplies runtime scalar-parameter values (may be nil).
+func FilterBlock(pred Expr, b *storage.Block, scalars []types.Datum) []int32 {
+	out := make([]int32, 0, b.NumRows())
+	c := Ctx{B: b, Scalars: scalars}
+	for r := 0; r < b.NumRows(); r++ {
+		c.Row = r
+		if pred.Eval(&c).I != 0 {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}
+
+// FilterRows evaluates pred over the given row IDs of b and returns the
+// subset that match (candidate-list refinement, used by the MonetDB-style
+// baseline).
+func FilterRows(pred Expr, b *storage.Block, rows []int32, scalars []types.Datum) []int32 {
+	out := rows[:0]
+	c := Ctx{B: b, Scalars: scalars}
+	for _, r := range rows {
+		c.Row = int(r)
+		if pred.Eval(&c).I != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EvalRow evaluates a list of expressions for one row of b.
+func EvalRow(exprs []Expr, b *storage.Block, row int, scalars []types.Datum) []types.Datum {
+	c := Ctx{B: b, Row: row, Scalars: scalars}
+	out := make([]types.Datum, len(exprs))
+	for i, e := range exprs {
+		out[i] = e.Eval(&c)
+	}
+	return out
+}
+
+// OutputSchema derives the schema produced by evaluating exprs named names.
+// Char widths are taken from column references and substring lengths; other
+// Char-typed expressions default to width 32.
+func OutputSchema(exprs []Expr, names []string) *storage.Schema {
+	cols := make([]storage.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = storage.Column{Name: names[i], Type: e.Type(), Width: charWidth(e)}
+	}
+	return storage.NewSchema(cols...)
+}
+
+func charWidth(e Expr) int {
+	switch x := e.(type) {
+	case *ColRef:
+		if x.Ty == types.Char {
+			return refWidth(x)
+		}
+	case *SubstrExpr:
+		return x.Len
+	case *ConstExpr:
+		if x.D.Ty == types.Char {
+			return len(x.D.B)
+		}
+	case *CaseExpr:
+		if x.Type() == types.Char {
+			return charWidth(x.Else)
+		}
+	}
+	if e.Type() == types.Char {
+		return 32
+	}
+	return 0
+}
+
+// refWidth is set by the plan layer: column references do not carry widths,
+// so builders register them here when constructing projections. To keep the
+// package self-contained, ColRef stores the width when built from a schema.
+func refWidth(c *ColRef) int { return c.Width }

@@ -1,0 +1,203 @@
+package hashtable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func payloadSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "v", Type: types.Int64},
+		storage.Column{Name: "f", Type: types.Float64},
+	)
+}
+
+func srcBlock(rows int) *storage.Block {
+	b := storage.NewBlock(payloadSchema(), storage.ColumnStore, rows*16+64)
+	for i := 0; i < rows; i++ {
+		b.AppendRow(types.NewInt64(int64(i*10)), types.NewFloat64(float64(i)+0.5))
+	}
+	return b
+}
+
+func TestInsertLookup(t *testing.T) {
+	ht := New(Config{PayloadSchema: payloadSchema()})
+	src := srcBlock(10)
+	for i := 0; i < 10; i++ {
+		ht.Insert(int64(i), 0, src, i, []int{0, 1})
+	}
+	if ht.Len() != 10 {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	for i := 0; i < 10; i++ {
+		var got int64 = -1
+		ht.Lookup(int64(i), 0, func(pb *storage.Block, row int) bool {
+			got = pb.Int64At(0, row)
+			return true
+		})
+		if got != int64(i*10) {
+			t.Errorf("key %d payload = %d", i, got)
+		}
+	}
+	if ht.Contains(99, 0) {
+		t.Error("phantom key")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	ht := New(Config{PayloadSchema: payloadSchema()})
+	src := srcBlock(5)
+	for i := 0; i < 5; i++ {
+		ht.Insert(7, 0, src, i, []int{0, 1})
+	}
+	var vals []int64
+	ht.Lookup(7, 0, func(pb *storage.Block, row int) bool {
+		vals = append(vals, pb.Int64At(0, row))
+		return true
+	})
+	if len(vals) != 5 {
+		t.Fatalf("got %d duplicates, want 5", len(vals))
+	}
+	seen := map[int64]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("duplicate payloads collapsed: %v", vals)
+	}
+	// Early stop: fn returning false.
+	n := 0
+	ht.Lookup(7, 0, func(*storage.Block, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	ht := New(Config{PayloadSchema: payloadSchema()})
+	src := srcBlock(2)
+	ht.Insert(1, 2, src, 0, []int{0, 1})
+	ht.Insert(2, 1, src, 1, []int{0, 1})
+	if !ht.Contains(1, 2) || !ht.Contains(2, 1) {
+		t.Fatal("composite keys missing")
+	}
+	if ht.Contains(1, 1) || ht.Contains(2, 2) {
+		t.Fatal("composite key confusion")
+	}
+}
+
+func TestKeyOnlyEntries(t *testing.T) {
+	ht := New(Config{PayloadSchema: storage.NewSchema()})
+	ht.InsertKeyOnly(5, 0)
+	if !ht.Contains(5, 0) || ht.Contains(6, 0) {
+		t.Fatal("key-only insert broken")
+	}
+	ht.Lookup(5, 0, func(pb *storage.Block, _ int) bool {
+		if pb != nil {
+			t.Error("key-only entry should have nil payload block")
+		}
+		return true
+	})
+}
+
+func TestGrowthPreservesEntries(t *testing.T) {
+	ht := New(Config{PayloadSchema: payloadSchema(), InitialCapacity: 64, LoadFactor: 0.5})
+	src := srcBlock(100)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		ht.Insert(int64(i), 0, src, i%100, []int{0, 1})
+	}
+	if ht.Len() != n {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	for i := 0; i < n; i += 97 {
+		if !ht.Contains(int64(i), 0) {
+			t.Fatalf("key %d lost after growth", i)
+		}
+	}
+	if ht.Contains(n+1, 0) {
+		t.Fatal("phantom after growth")
+	}
+}
+
+func TestConcurrentBuild(t *testing.T) {
+	ht := New(Config{PayloadSchema: payloadSchema()})
+	src := srcBlock(100)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ht.Insert(int64(w*per+i), 0, src, i%100, []int{0, 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ht.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", ht.Len(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i += 501 {
+			if !ht.Contains(int64(w*per+i), 0) {
+				t.Fatalf("missing key %d", w*per+i)
+			}
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	var g stats.MemGauge
+	ht := New(Config{PayloadSchema: payloadSchema(), Gauge: &g})
+	if g.Live() <= 0 {
+		t.Fatal("initial slots should be accounted")
+	}
+	src := srcBlock(100)
+	for i := 0; i < 10000; i++ {
+		ht.Insert(int64(i), 0, src, i%100, []int{0, 1})
+	}
+	if g.Live() != ht.TotalBytes() {
+		t.Fatalf("gauge %d != TotalBytes %d", g.Live(), ht.TotalBytes())
+	}
+	ht.Release()
+	if g.Live() != 0 {
+		t.Fatalf("after release live = %d", g.Live())
+	}
+	if g.High() != ht.TotalBytes() {
+		t.Fatalf("high water %d != %d", g.High(), ht.TotalBytes())
+	}
+}
+
+// Property: a table agrees with a reference map for arbitrary key multisets.
+func TestLookupMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, nKeys uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nKeys%2000) + 1
+		ht := New(Config{PayloadSchema: payloadSchema(), InitialCapacity: 16})
+		ref := map[int64]int{}
+		src := srcBlock(1)
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(200)) // force duplicates
+			ht.Insert(k, 0, src, 0, []int{0, 1})
+			ref[k]++
+		}
+		for k := int64(0); k < 200; k++ {
+			count := 0
+			ht.Lookup(k, 0, func(*storage.Block, int) bool { count++; return true })
+			if count != ref[k] {
+				return false
+			}
+		}
+		return ht.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package monet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// TestMonetMatchesEngineOnTPCH: the baseline must return exactly the same
+// rows as the engine for every implemented query.
+func TestMonetMatchesEngineOnTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query matrix in short mode")
+	}
+	d := tpch.Load(0.01, 64<<10, storage.ColumnStore)
+	for _, num := range tpch.Numbers() {
+		num := num
+		t.Run(fmt.Sprintf("q%02d", num), func(t *testing.T) {
+			t.Parallel()
+			eb := tpch.MustBuild(d, num, tpch.QueryOpts{LIP: true})
+			engRes, err := engine.Execute(eb, engine.Options{Workers: 4, UoTBlocks: 1, TempBlockBytes: 32 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb := tpch.MustBuild(d, num, tpch.QueryOpts{}) // no LIP for the baseline
+			monRes, err := Execute(mb, Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := engine.Rows(engRes.Table), engine.Rows(monRes.Table)
+			engine.SortRows(a)
+			engine.SortRows(b)
+			if len(a) != len(b) {
+				t.Fatalf("q%d: %d vs %d rows", num, len(a), len(b))
+			}
+			for i := range a {
+				for c := range a[i] {
+					x, y := a[i][c], b[i][c]
+					if x.Ty == types.Float64 {
+						tol := 1e-6 * (1 + math.Abs(x.F))
+						if d := math.Abs(x.F - y.Float()); d > tol {
+							t.Fatalf("q%d row %d col %d: %v vs %v", num, i, c, x, y)
+						}
+						continue
+					}
+					if !types.Equal(x, y) {
+						t.Fatalf("q%d row %d col %d: %v vs %v", num, i, c, x, y)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonetIsOperatorAtATime checks the defining property: no consumer work
+// order starts before its producer finished.
+func TestMonetIsOperatorAtATime(t *testing.T) {
+	d := tpch.Load(0.005, 32<<10, storage.ColumnStore)
+	b := tpch.MustBuild(d, 3, tpch.QueryOpts{})
+	res, err := Execute(b, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the lineitem select feeding probe(orders): last select end must
+	// precede first probe start.
+	var lastSel, firstProbe int64
+	for _, w := range res.Run.Orders() {
+		switch w.OpName {
+		case "select(lineitem)":
+			if e := w.End.UnixNano(); e > lastSel {
+				lastSel = e
+			}
+		case "probe(orders)":
+			if s := w.Start.UnixNano(); firstProbe == 0 || s < firstProbe {
+				firstProbe = s
+			}
+		}
+	}
+	if lastSel == 0 || firstProbe == 0 {
+		t.Fatal("expected operators missing from stats")
+	}
+	if firstProbe < lastSel {
+		t.Fatal("monet mode must not overlap producer and consumer")
+	}
+}

@@ -1,0 +1,248 @@
+// Package ssb implements the Star Schema Benchmark [O'Neil et al., TPCTC
+// 2009] substrate: a denormalized lineorder fact table with four small
+// dimensions (date, customer, supplier, part) and representative queries
+// from each of the benchmark's four flights. The paper invokes SSB in
+// Section VI-B: its join hash tables are built on small dimensions, so the
+// low-UoT strategy's "keep all hash tables live" overhead is tiny and
+// pipelining wins the memory comparison — the opposite of the TPC-H Q7
+// case. Package ssb exists to reproduce that contrast.
+package ssb
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func i64(name string) storage.Column { return storage.Column{Name: name, Type: types.Int64} }
+func f64(name string) storage.Column { return storage.Column{Name: name, Type: types.Float64} }
+func char(name string, w int) storage.Column {
+	return storage.Column{Name: name, Type: types.Char, Width: w}
+}
+
+// Schemas for the five SSB tables.
+var (
+	LineorderSchema = storage.NewSchema(
+		i64("lo_orderkey"), i64("lo_linenumber"),
+		i64("lo_custkey"), i64("lo_partkey"), i64("lo_suppkey"), i64("lo_orderdate"),
+		f64("lo_quantity"), f64("lo_extendedprice"), f64("lo_discount"),
+		f64("lo_revenue"), f64("lo_supplycost"),
+	)
+	DateSchema = storage.NewSchema(
+		i64("d_datekey"), i64("d_year"), i64("d_yearmonthnum"), i64("d_weeknuminyear"),
+	)
+	CustomerSchema = storage.NewSchema(
+		i64("c_custkey"), char("c_name", 18), char("c_city", 10),
+		char("c_nation", 15), char("c_region", 12), char("c_mktsegment", 10),
+	)
+	SupplierSchema = storage.NewSchema(
+		i64("s_suppkey"), char("s_name", 18), char("s_city", 10),
+		char("s_nation", 15), char("s_region", 12),
+	)
+	PartSchema = storage.NewSchema(
+		i64("p_partkey"), char("p_name", 22), char("p_mfgr", 6),
+		char("p_category", 7), char("p_brand1", 9), char("p_color", 11),
+	)
+)
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationsByRegion = map[string][]string{
+	"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+}
+
+var colors = []string{
+	"almond", "azure", "beige", "black", "blue", "brown", "coral", "cream",
+	"cyan", "forest", "green", "grey", "indigo", "ivory", "khaki", "lace",
+}
+
+// Dataset is a loaded SSB database.
+type Dataset struct {
+	SF float64
+	DB *engine.DB
+
+	Lineorder, Date, Customer, Supplier, Part *storage.Table
+}
+
+// Cardinality ratios per unit scale factor (SSB specification).
+const (
+	lineordersPerSF = 6_000_000
+	customersPerSF  = 30_000
+	suppliersPerSF  = 2_000
+	partsBase       = 200_000 // SSB: 200k * (1 + log2 SF); we scale linearly, min 1000
+)
+
+type rng struct{ s uint64 }
+
+func newRNG(parts ...uint64) *rng {
+	s := uint64(0x51ab)
+	for _, p := range parts {
+		s = types.Mix64(s ^ p)
+	}
+	return &rng{s: s}
+}
+
+func (r *rng) u64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return types.Mix64(r.s)
+}
+
+func (r *rng) intn(n int) int          { return int(r.u64() % uint64(n)) }
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+func (r *rng) pick(list []string) string {
+	return list[r.intn(len(list))]
+}
+
+func scale(sf float64, base, min int) int {
+	n := int(sf * float64(base))
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Load generates the five SSB tables at scale factor sf.
+func Load(sf float64, blockBytes int, format storage.Format) *Dataset {
+	db := engine.NewDB(blockBytes, format)
+	d := &Dataset{SF: sf, DB: db}
+	d.genDate()
+	d.genCustomer()
+	d.genSupplier()
+	d.genPart()
+	d.genLineorder()
+	return d
+}
+
+func (d *Dataset) numCustomers() int { return scale(d.SF, customersPerSF, 100) }
+func (d *Dataset) numSuppliers() int { return scale(d.SF, suppliersPerSF, 20) }
+func (d *Dataset) numParts() int     { return scale(d.SF, partsBase, 1000) }
+func (d *Dataset) numLineorders() int {
+	return scale(d.SF, lineordersPerSF, 1000)
+}
+
+// dateKeys spans 1992-01-01 .. 1998-12-31 as yyyymmdd integers.
+func (d *Dataset) genDate() {
+	d.Date = d.DB.CreateTable("date", DateSchema)
+	l := storage.NewLoader(d.Date)
+	start := types.ToDays(1992, 1, 1)
+	end := types.ToDays(1998, 12, 31)
+	week := 1
+	for day := start; day <= end; day++ {
+		y, m, dd := types.FromDays(day)
+		key := int64(y*10000 + m*100 + dd)
+		l.Append(
+			types.NewInt64(key),
+			types.NewInt64(int64(y)),
+			types.NewInt64(int64(y*100+m)),
+			types.NewInt64(int64(week)),
+		)
+		if (day-start)%7 == 6 {
+			week++
+			if week > 53 {
+				week = 1
+			}
+		}
+	}
+	l.Close()
+}
+
+func cityOf(nation string, r *rng) string {
+	if len(nation) > 9 {
+		nation = nation[:9]
+	}
+	return fmt.Sprintf("%s%d", nation, r.intn(10))
+}
+
+func (d *Dataset) genCustomer() {
+	d.Customer = d.DB.CreateTable("customer", CustomerSchema)
+	l := storage.NewLoader(d.Customer)
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	for k := 1; k <= d.numCustomers(); k++ {
+		r := newRNG(1, uint64(k))
+		region := regions[r.intn(len(regions))]
+		nation := r.pick(nationsByRegion[region])
+		l.Append(
+			types.NewInt64(int64(k)),
+			types.NewString(fmt.Sprintf("Customer#%09d", k)),
+			types.NewString(cityOf(nation, r)),
+			types.NewString(nation),
+			types.NewString(region),
+			types.NewString(r.pick(segments)),
+		)
+	}
+	l.Close()
+}
+
+func (d *Dataset) genSupplier() {
+	d.Supplier = d.DB.CreateTable("supplier", SupplierSchema)
+	l := storage.NewLoader(d.Supplier)
+	for k := 1; k <= d.numSuppliers(); k++ {
+		r := newRNG(2, uint64(k))
+		region := regions[r.intn(len(regions))]
+		nation := r.pick(nationsByRegion[region])
+		l.Append(
+			types.NewInt64(int64(k)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", k)),
+			types.NewString(cityOf(nation, r)),
+			types.NewString(nation),
+			types.NewString(region),
+		)
+	}
+	l.Close()
+}
+
+func (d *Dataset) genPart() {
+	d.Part = d.DB.CreateTable("part", PartSchema)
+	l := storage.NewLoader(d.Part)
+	for k := 1; k <= d.numParts(); k++ {
+		r := newRNG(3, uint64(k))
+		mfgr := r.rangeInt(1, 5)
+		cat := r.rangeInt(1, 5)
+		brand := r.rangeInt(1, 40)
+		l.Append(
+			types.NewInt64(int64(k)),
+			types.NewString(r.pick(colors)+" "+r.pick(colors)),
+			types.NewString(fmt.Sprintf("MFGR#%d", mfgr)),
+			types.NewString(fmt.Sprintf("MFGR#%d%d", mfgr, cat)),
+			types.NewString(fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand)),
+			types.NewString(r.pick(colors)),
+		)
+	}
+	l.Close()
+}
+
+func (d *Dataset) genLineorder() {
+	d.Lineorder = d.DB.CreateTable("lineorder", LineorderSchema)
+	l := storage.NewLoader(d.Lineorder)
+	start := types.ToDays(1992, 1, 1)
+	span := int(types.ToDays(1998, 12, 31) - start)
+	nc, ns, np := d.numCustomers(), d.numSuppliers(), d.numParts()
+	for k := 1; k <= d.numLineorders(); k++ {
+		r := newRNG(4, uint64(k))
+		day := start + int32(r.intn(span+1))
+		y, m, dd := types.FromDays(day)
+		qty := float64(r.rangeInt(1, 50))
+		price := float64(r.rangeInt(90, 105)) * qty
+		disc := float64(r.rangeInt(0, 10))
+		l.Append(
+			types.NewInt64(int64(k/4+1)),
+			types.NewInt64(int64(k%7+1)),
+			types.NewInt64(int64(r.rangeInt(1, nc))),
+			types.NewInt64(int64(r.rangeInt(1, np))),
+			types.NewInt64(int64(r.rangeInt(1, ns))),
+			types.NewInt64(int64(y*10000+m*100+dd)),
+			types.NewFloat64(qty),
+			types.NewFloat64(price),
+			types.NewFloat64(disc),
+			types.NewFloat64(price*(100-disc)/100),
+			types.NewFloat64(price*0.6),
+		)
+	}
+	l.Close()
+}

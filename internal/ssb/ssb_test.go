@@ -1,0 +1,159 @@
+package ssb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+const testSF = 0.01
+
+func TestGeneratorShape(t *testing.T) {
+	d := Load(testSF, 32<<10, storage.ColumnStore)
+	if got := d.Date.NumRows(); got != 2557 { // 1992-01-01..1998-12-31
+		t.Errorf("date rows = %d", got)
+	}
+	if d.Customer.NumRows() != int64(testSF*customersPerSF) {
+		t.Errorf("customer rows = %d", d.Customer.NumRows())
+	}
+	if d.Supplier.NumRows() != int64(testSF*suppliersPerSF) {
+		t.Errorf("supplier rows = %d", d.Supplier.NumRows())
+	}
+	if d.Lineorder.NumRows() != int64(testSF*lineordersPerSF) {
+		t.Errorf("lineorder rows = %d", d.Lineorder.NumRows())
+	}
+	// Every lineorder orderdate must exist in the date dimension.
+	dates := map[int64]bool{}
+	ds := d.Date.Schema()
+	for _, b := range d.Date.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			dates[b.Int64At(ds.MustColIndex("d_datekey"), r)] = true
+		}
+	}
+	ls := d.Lineorder.Schema()
+	iOD := ls.MustColIndex("lo_orderdate")
+	for _, b := range d.Lineorder.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			if !dates[b.Int64At(iOD, r)] {
+				t.Fatalf("orderdate %d not in dimension", b.Int64At(iOD, r))
+			}
+		}
+	}
+}
+
+func TestQueriesInvariantAcrossUoT(t *testing.T) {
+	d := Load(testSF, 32<<10, storage.ColumnStore)
+	for _, name := range Flights() {
+		base := run(t, d, name, 1)
+		for _, uot := range []int{4, core.UoTTable} {
+			got := run(t, d, name, uot)
+			if len(base) != len(got) {
+				t.Fatalf("%s uot=%d: %d vs %d rows", name, uot, len(base), len(got))
+			}
+			for i := range base {
+				for c := range base[i] {
+					x, y := base[i][c], got[i][c]
+					if x.Ty == types.Float64 {
+						if math.Abs(x.F-y.Float()) > 1e-6*(1+math.Abs(x.F)) {
+							t.Fatalf("%s uot=%d row %d col %d: %v vs %v", name, uot, i, c, x, y)
+						}
+						continue
+					}
+					if !types.Equal(x, y) {
+						t.Fatalf("%s uot=%d row %d col %d: %v vs %v", name, uot, i, c, x, y)
+					}
+				}
+			}
+		}
+		if name != "q1.1" && len(base) == 0 {
+			t.Errorf("%s returned no rows", name)
+		}
+	}
+}
+
+func run(t *testing.T, d *Dataset, name string, uot int) [][]types.Datum {
+	t.Helper()
+	b, err := Build(d, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(b, engine.Options{Workers: 4, UoTBlocks: uot, TempBlockBytes: 16 << 10})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	rows := engine.Rows(res.Table)
+	engine.SortRows(rows)
+	return rows
+}
+
+func TestQ11AgainstBruteForce(t *testing.T) {
+	d := Load(testSF, 32<<10, storage.ColumnStore)
+	ls := d.Lineorder.Schema()
+	iOD, iExt, iDisc, iQty := ls.MustColIndex("lo_orderdate"), ls.MustColIndex("lo_extendedprice"),
+		ls.MustColIndex("lo_discount"), ls.MustColIndex("lo_quantity")
+	want := 0.0
+	for _, b := range d.Lineorder.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			if b.Int64At(iOD, r)/10000 != 1993 {
+				continue
+			}
+			disc := b.Float64At(iDisc, r)
+			if disc >= 1 && disc <= 3 && b.Float64At(iQty, r) < 25 {
+				want += b.Float64At(iExt, r) * disc / 100
+			}
+		}
+	}
+	rows := run(t, d, "q1.1", 1)
+	if len(rows) != 1 {
+		t.Fatalf("q1.1 rows = %d", len(rows))
+	}
+	if got := rows[0][0].F; math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("q1.1 = %v, want %v", got, want)
+	}
+}
+
+// TestSmallHashTablesFootprint is the Section VI-B contrast this package
+// exists for: on a star schema the join hash tables are built on small
+// dimensions, so the low-UoT strategy (all hash tables live at once) has a
+// SMALLER footprint than the high-UoT strategy's materialized intermediates
+// — the opposite of TPC-H Q7.
+func TestSmallHashTablesFootprint(t *testing.T) {
+	d := Load(0.02, 32<<10, storage.ColumnStore)
+	footprint := func(uot int) (hash, temp int64) {
+		b, err := Build(d, "q3.1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Execute(b, engine.Options{Workers: 1, UoTBlocks: uot, TempBlockBytes: 32 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Run.HashTables.High(), res.Run.Intermediates.High()
+	}
+	lowHash, lowTemp := footprint(1)
+	highHash, highTemp := footprint(core.UoTTable)
+	t.Logf("low UoT: hash=%d temp=%d | high UoT: hash=%d temp=%d", lowHash, lowTemp, highHash, highTemp)
+	if lowTemp >= highTemp {
+		t.Errorf("low-UoT temp footprint (%d) should undercut high UoT (%d) on SSB", lowTemp, highTemp)
+	}
+	// Dimension hash tables are small relative to the fact-table
+	// intermediates the blocking strategy materializes.
+	if lowHash >= highTemp*4 {
+		t.Errorf("SSB dimension hash tables (%d) should be comparable to or below materialization (%d)", lowHash, highTemp)
+	}
+}
+
+func TestUnknownSSBQuery(t *testing.T) {
+	d := Load(0.005, 32<<10, storage.ColumnStore)
+	if _, err := Build(d, "q9.9"); err == nil {
+		t.Fatal("unknown query should error")
+	}
+	if got := fmt.Sprint(Flights()); got != "[q1.1 q2.1 q3.1 q4.1]" {
+		t.Fatalf("flights = %s", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package stats collects run statistics: per-work-order and per-operator
+// timings (wall clock and simulated cache-model ticks) and byte-exact memory
+// gauges. Explicit accounting is used instead of runtime.MemStats because Go
+// GC timing would otherwise obscure the footprint comparisons of Section VI
+// of the paper.
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MemGauge tracks live bytes and the high-water mark of one memory class.
+// It is safe for concurrent use.
+type MemGauge struct {
+	live int64
+	high int64
+}
+
+// Add records an allocation of n bytes and updates the high-water mark.
+func (g *MemGauge) Add(n int64) {
+	v := atomic.AddInt64(&g.live, n)
+	for {
+		h := atomic.LoadInt64(&g.high)
+		if v <= h || atomic.CompareAndSwapInt64(&g.high, h, v) {
+			return
+		}
+	}
+}
+
+// Sub records a release of n bytes.
+func (g *MemGauge) Sub(n int64) { atomic.AddInt64(&g.live, -n) }
+
+// Live returns the current live bytes.
+func (g *MemGauge) Live() int64 { return atomic.LoadInt64(&g.live) }
+
+// High returns the high-water mark in bytes.
+func (g *MemGauge) High() int64 { return atomic.LoadInt64(&g.high) }
+
+// Reset zeroes the gauge.
+func (g *MemGauge) Reset() {
+	atomic.StoreInt64(&g.live, 0)
+	atomic.StoreInt64(&g.high, 0)
+}
+
+// WorkOrder records one executed work order.
+type WorkOrder struct {
+	OpID    int
+	OpName  string
+	Worker  int
+	Start   time.Time
+	End     time.Time
+	Sim     int64 // simulated ticks (ns) charged by the cache model, 0 if no sim
+	Rows    int64 // input rows processed
+	RowsOut int64 // output rows produced
+}
+
+// Wall returns the wall-clock duration of the work order.
+func (w WorkOrder) Wall() time.Duration { return w.End.Sub(w.Start) }
+
+// OpTotals aggregates all work orders of one operator.
+type OpTotals struct {
+	OpID      int
+	Name      string
+	Count     int
+	WallTotal time.Duration
+	SimTotal  int64
+	Rows      int64
+	RowsOut   int64
+}
+
+// AvgWall returns the mean wall-clock work-order time.
+func (o OpTotals) AvgWall() time.Duration {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.WallTotal / time.Duration(o.Count)
+}
+
+// AvgSim returns the mean simulated work-order time in ticks.
+func (o OpTotals) AvgSim() int64 {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.SimTotal / int64(o.Count)
+}
+
+// Run accumulates the statistics of one query execution. All methods are
+// safe for concurrent use by workers.
+type Run struct {
+	mu     sync.Mutex
+	orders []WorkOrder
+	start  time.Time
+	end    time.Time
+
+	// HashTables gauges join/aggregation hash-table bytes; Intermediates
+	// gauges materialized temporary-block bytes — the two memory classes
+	// Table II of the paper compares.
+	HashTables    MemGauge
+	Intermediates MemGauge
+
+	// PoolCheckouts counts temporary-block checkouts, a proxy for storage
+	// management overhead at small block sizes.
+	PoolCheckouts int64
+}
+
+// NewRun returns an empty Run with the start time set to now.
+func NewRun() *Run { return &Run{start: time.Now()} }
+
+// Record appends a completed work order.
+func (r *Run) Record(w WorkOrder) {
+	r.mu.Lock()
+	r.orders = append(r.orders, w)
+	r.mu.Unlock()
+}
+
+// AddCheckout bumps the pool-checkout counter.
+func (r *Run) AddCheckout() { atomic.AddInt64(&r.PoolCheckouts, 1) }
+
+// Finish stamps the end of the run.
+func (r *Run) Finish() { r.end = time.Now() }
+
+// WallTime returns the total run duration (now, if Finish was not called).
+func (r *Run) WallTime() time.Duration {
+	if r.end.IsZero() {
+		return time.Since(r.start)
+	}
+	return r.end.Sub(r.start)
+}
+
+// Orders returns a copy of all recorded work orders in completion order.
+func (r *Run) Orders() []WorkOrder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkOrder, len(r.orders))
+	copy(out, r.orders)
+	return out
+}
+
+// PerOp aggregates work orders per operator, sorted by operator ID.
+func (r *Run) PerOp() []OpTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := map[int]*OpTotals{}
+	for _, w := range r.orders {
+		t := m[w.OpID]
+		if t == nil {
+			t = &OpTotals{OpID: w.OpID, Name: w.OpName}
+			m[w.OpID] = t
+		}
+		t.Count++
+		t.WallTotal += w.Wall()
+		t.SimTotal += w.Sim
+		t.Rows += w.Rows
+		t.RowsOut += w.RowsOut
+	}
+	out := make([]OpTotals, 0, len(m))
+	for _, t := range m {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OpID < out[j].OpID })
+	return out
+}
+
+// Op returns the totals for one operator ID (zero value if it never ran).
+func (r *Run) Op(opID int) OpTotals {
+	for _, t := range r.PerOp() {
+		if t.OpID == opID {
+			return t
+		}
+	}
+	return OpTotals{OpID: opID}
+}
+
+// TotalSim returns the sum of simulated ticks across all work orders.
+func (r *Run) TotalSim() int64 {
+	var s int64
+	for _, t := range r.PerOp() {
+		s += t.SimTotal
+	}
+	return s
+}
+
+// TotalWallWork returns the sum of wall-clock work-order durations (CPU work,
+// not makespan).
+func (r *Run) TotalWallWork() time.Duration {
+	var s time.Duration
+	for _, t := range r.PerOp() {
+		s += t.WallTotal
+	}
+	return s
+}

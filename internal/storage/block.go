@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Format selects the physical tuple layout inside a block.
+type Format uint8
+
+const (
+	// RowStore lays each tuple out contiguously (NSM).
+	RowStore Format = iota
+	// ColumnStore splits the block into one contiguous region per column
+	// (DSM inside a block, as in Quickstep).
+	ColumnStore
+)
+
+// String returns "row" or "column".
+func (f Format) String() string {
+	if f == RowStore {
+		return "row"
+	}
+	return "column"
+}
+
+// Block is a fixed-capacity container of tuples of one schema in one format.
+// A block is the unit of storage, of work-order input, and — grouped by the
+// UoT value — of inter-operator transfer. Blocks are not internally
+// synchronized: the scheduler guarantees a block is written by at most one
+// work order at a time (Section III-A).
+type Block struct {
+	schema   *Schema
+	format   Format
+	capacity int    // max rows
+	n        int    // current rows
+	data     []byte // one allocation of size >= capacity*rowWidth
+	colOff   []int  // ColumnStore: start of each column region in data
+}
+
+// NewBlock allocates a block with the given byte budget. Capacity is
+// blockBytes / rowWidth, at least 1 row.
+func NewBlock(schema *Schema, format Format, blockBytes int) *Block {
+	cap := blockBytes / schema.RowWidth()
+	if cap < 1 {
+		cap = 1
+	}
+	b := &Block{
+		schema:   schema,
+		format:   format,
+		capacity: cap,
+		data:     make([]byte, cap*schema.RowWidth()),
+	}
+	if format == ColumnStore {
+		b.colOff = make([]int, schema.NumCols())
+		off := 0
+		for i := 0; i < schema.NumCols(); i++ {
+			b.colOff[i] = off
+			off += cap * schema.ColWidth(i)
+		}
+	}
+	return b
+}
+
+// Schema returns the block's schema.
+func (b *Block) Schema() *Schema { return b.schema }
+
+// Format returns the block's layout.
+func (b *Block) Format() Format { return b.format }
+
+// NumRows returns the number of tuples currently stored.
+func (b *Block) NumRows() int { return b.n }
+
+// Capacity returns the maximum number of tuples the block can hold.
+func (b *Block) Capacity() int { return b.capacity }
+
+// Full reports whether the block cannot accept another tuple.
+func (b *Block) Full() bool { return b.n >= b.capacity }
+
+// Reset empties the block for reuse without freeing its allocation.
+func (b *Block) Reset() { b.n = 0 }
+
+// AllocBytes returns the size of the block's data allocation.
+func (b *Block) AllocBytes() int { return len(b.data) }
+
+// UsedBytes returns the bytes occupied by live tuples (n * rowWidth); this is
+// what the Section VI memory model counts for materialized intermediates.
+func (b *Block) UsedBytes() int { return b.n * b.schema.RowWidth() }
+
+// cell returns the data slice holding column col of row row.
+func (b *Block) cell(col, row int) []byte {
+	w := b.schema.ColWidth(col)
+	var off int
+	if b.format == RowStore {
+		off = row*b.schema.RowWidth() + b.schema.ColOffset(col)
+	} else {
+		off = b.colOff[col] + row*w
+	}
+	return b.data[off : off+w]
+}
+
+// Int64At reads an Int64 column value.
+func (b *Block) Int64At(col, row int) int64 {
+	return int64(binary.LittleEndian.Uint64(b.cell(col, row)))
+}
+
+// Float64At reads a Float64 column value.
+func (b *Block) Float64At(col, row int) float64 {
+	return float64frombits(binary.LittleEndian.Uint64(b.cell(col, row)))
+}
+
+// DateAt reads a Date column value as a day count.
+func (b *Block) DateAt(col, row int) int32 {
+	return int32(binary.LittleEndian.Uint32(b.cell(col, row)))
+}
+
+// BytesAt reads the raw fixed-width bytes of a Char column value, including
+// zero padding. The returned slice aliases block memory; callers must not
+// hold it across a block Reset.
+func (b *Block) BytesAt(col, row int) []byte { return b.cell(col, row) }
+
+// DatumAt reads any column value as a Datum. Char datums alias block memory.
+func (b *Block) DatumAt(col, row int) types.Datum {
+	switch b.schema.Col(col).Type {
+	case types.Int64:
+		return types.NewInt64(b.Int64At(col, row))
+	case types.Float64:
+		return types.NewFloat64(b.Float64At(col, row))
+	case types.Date:
+		return types.NewDate(b.DateAt(col, row))
+	default:
+		return types.NewChar(b.BytesAt(col, row))
+	}
+}
+
+func (b *Block) setCell(col, row int, d types.Datum) {
+	c := b.cell(col, row)
+	switch b.schema.Col(col).Type {
+	case types.Int64:
+		binary.LittleEndian.PutUint64(c, uint64(d.I))
+	case types.Float64:
+		binary.LittleEndian.PutUint64(c, float64bits(d.F))
+	case types.Date:
+		binary.LittleEndian.PutUint32(c, uint32(int32(d.I)))
+	default:
+		n := copy(c, d.B)
+		for i := n; i < len(c); i++ {
+			c[i] = 0
+		}
+	}
+}
+
+// AppendRow appends one tuple given as datums in schema order. It returns
+// false, leaving the block unchanged, if the block is full.
+func (b *Block) AppendRow(vals ...types.Datum) bool {
+	if b.Full() {
+		return false
+	}
+	if len(vals) != b.schema.NumCols() {
+		panic(fmt.Sprintf("storage: AppendRow got %d values for %d columns", len(vals), b.schema.NumCols()))
+	}
+	for i, d := range vals {
+		b.setCell(i, b.n, d)
+	}
+	b.n++
+	return true
+}
+
+// AppendFrom appends the projection projIdx of row srcRow of src. Schemas
+// must line up (dst column i == src column projIdx[i]); this is the inner
+// loop of the select operator's output materialization. It returns false if
+// the block is full.
+func (b *Block) AppendFrom(src *Block, srcRow int, projIdx []int) bool {
+	if b.Full() {
+		return false
+	}
+	for i, sc := range projIdx {
+		copy(b.cell(i, b.n), src.cell(sc, srcRow))
+	}
+	b.n++
+	return true
+}
+
+// AppendRaw appends a tuple assembled from cells of two source blocks: the
+// first lp columns come from left row lrow, the rest from right row rrow
+// (used by probe to emit joined tuples). Pass a nil right block to zero-fill
+// the right-hand columns (left outer join).
+func (b *Block) AppendRaw(left *Block, lrow int, lproj []int, right *Block, rrow int, rproj []int) bool {
+	if b.Full() {
+		return false
+	}
+	k := 0
+	for _, sc := range lproj {
+		copy(b.cell(k, b.n), left.cell(sc, lrow))
+		k++
+	}
+	for _, sc := range rproj {
+		c := b.cell(k, b.n)
+		if right == nil {
+			for i := range c {
+				c[i] = 0
+			}
+		} else {
+			copy(c, right.cell(sc, rrow))
+		}
+		k++
+	}
+	b.n++
+	return true
+}
+
+// Row materializes row i as a datum slice (Char datums alias block memory).
+func (b *Block) Row(i int) []types.Datum {
+	out := make([]types.Datum, b.schema.NumCols())
+	for c := range out {
+		out[c] = b.DatumAt(c, i)
+	}
+	return out
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

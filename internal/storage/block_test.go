@@ -1,0 +1,217 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "k", Type: types.Int64},
+		Column{Name: "v", Type: types.Float64},
+		Column{Name: "d", Type: types.Date},
+		Column{Name: "s", Type: types.Char, Width: 10},
+	)
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema()
+	if s.RowWidth() != 8+8+4+10 {
+		t.Fatalf("row width = %d", s.RowWidth())
+	}
+	if s.ColOffset(0) != 0 || s.ColOffset(1) != 8 || s.ColOffset(2) != 16 || s.ColOffset(3) != 20 {
+		t.Fatal("column offsets wrong")
+	}
+	if s.MustColIndex("d") != 2 {
+		t.Fatal("ColIndex wrong")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p := s.Project([]int{3, 0})
+	if p.NumCols() != 2 || p.Col(0).Name != "s" || p.Col(1).Name != "k" {
+		t.Fatalf("projection wrong: %v", p.Names())
+	}
+	if p.RowWidth() != 18 {
+		t.Fatalf("projected row width = %d", p.RowWidth())
+	}
+}
+
+func TestSchemaPanicsOnBadChar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Char without width")
+		}
+	}()
+	NewSchema(Column{Name: "x", Type: types.Char})
+}
+
+func roundTrip(t *testing.T, format Format) {
+	t.Helper()
+	s := testSchema()
+	b := NewBlock(s, format, 1024)
+	rows := [][]types.Datum{
+		{types.NewInt64(1), types.NewFloat64(1.5), types.NewDate(100), types.NewString("alpha")},
+		{types.NewInt64(-7), types.NewFloat64(-0.25), types.NewDate(-5), types.NewString("0123456789")},
+		{types.NewInt64(0), types.NewFloat64(0), types.NewDate(0), types.NewString("")},
+	}
+	for _, r := range rows {
+		if !b.AppendRow(r...) {
+			t.Fatal("append failed")
+		}
+	}
+	if b.NumRows() != len(rows) {
+		t.Fatalf("NumRows = %d", b.NumRows())
+	}
+	for i, r := range rows {
+		if got := b.Int64At(0, i); got != r[0].I {
+			t.Errorf("row %d int: got %d want %d", i, got, r[0].I)
+		}
+		if got := b.Float64At(1, i); got != r[1].F {
+			t.Errorf("row %d float: got %v want %v", i, got, r[1].F)
+		}
+		if got := b.DateAt(2, i); got != int32(r[2].I) {
+			t.Errorf("row %d date: got %d want %d", i, got, r[2].I)
+		}
+		if got := string(types.TrimPad(b.BytesAt(3, i))); got != string(r[3].B) {
+			t.Errorf("row %d char: got %q want %q", i, got, r[3].B)
+		}
+	}
+}
+
+func TestBlockRoundTripRowStore(t *testing.T)    { roundTrip(t, RowStore) }
+func TestBlockRoundTripColumnStore(t *testing.T) { roundTrip(t, ColumnStore) }
+
+func TestBlockCapacityAndFull(t *testing.T) {
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	b := NewBlock(s, ColumnStore, 64) // 8 rows
+	if b.Capacity() != 8 {
+		t.Fatalf("capacity = %d", b.Capacity())
+	}
+	for i := 0; i < 8; i++ {
+		if !b.AppendRow(types.NewInt64(int64(i))) {
+			t.Fatalf("append %d failed early", i)
+		}
+	}
+	if !b.Full() {
+		t.Fatal("block should be full")
+	}
+	if b.AppendRow(types.NewInt64(99)) {
+		t.Fatal("append to full block should fail")
+	}
+	if b.UsedBytes() != 64 {
+		t.Fatalf("UsedBytes = %d", b.UsedBytes())
+	}
+	b.Reset()
+	if b.NumRows() != 0 || b.Full() {
+		t.Fatal("Reset should empty the block")
+	}
+}
+
+func TestBlockMinimumCapacityOneRow(t *testing.T) {
+	s := testSchema()             // 30-byte rows
+	b := NewBlock(s, RowStore, 1) // budget smaller than one row
+	if b.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", b.Capacity())
+	}
+}
+
+func TestAppendFromProjection(t *testing.T) {
+	s := testSchema()
+	src := NewBlock(s, ColumnStore, 4096)
+	src.AppendRow(types.NewInt64(5), types.NewFloat64(2.5), types.NewDate(9), types.NewString("hello"))
+
+	dstSchema := s.Project([]int{3, 1})
+	dst := NewBlock(dstSchema, RowStore, 4096)
+	if !dst.AppendFrom(src, 0, []int{3, 1}) {
+		t.Fatal("AppendFrom failed")
+	}
+	if got := string(types.TrimPad(dst.BytesAt(0, 0))); got != "hello" {
+		t.Errorf("projected char = %q", got)
+	}
+	if got := dst.Float64At(1, 0); got != 2.5 {
+		t.Errorf("projected float = %v", got)
+	}
+}
+
+func TestAppendRawJoinRow(t *testing.T) {
+	ls := NewSchema(Column{Name: "a", Type: types.Int64}, Column{Name: "b", Type: types.Float64})
+	rs := NewSchema(Column{Name: "c", Type: types.Int64})
+	l := NewBlock(ls, ColumnStore, 1024)
+	r := NewBlock(rs, RowStore, 1024)
+	l.AppendRow(types.NewInt64(1), types.NewFloat64(0.5))
+	r.AppendRow(types.NewInt64(42))
+
+	out := NewBlock(NewSchema(ls.Col(0), ls.Col(1), rs.Col(0)), RowStore, 1024)
+	if !out.AppendRaw(l, 0, []int{0, 1}, r, 0, []int{0}) {
+		t.Fatal("AppendRaw failed")
+	}
+	if out.Int64At(0, 0) != 1 || out.Float64At(1, 0) != 0.5 || out.Int64At(2, 0) != 42 {
+		t.Fatalf("joined row wrong: %v", out.Row(0))
+	}
+
+	// nil right block zero-fills (left outer join padding).
+	if !out.AppendRaw(l, 0, []int{0, 1}, nil, 0, []int{0}) {
+		t.Fatal("AppendRaw outer failed")
+	}
+	if out.Int64At(2, 1) != 0 {
+		t.Fatal("outer padding should be zero")
+	}
+}
+
+// Property: for any sequence of rows, row-store and column-store blocks
+// return identical data.
+func TestFormatsEquivalentProperty(t *testing.T) {
+	s := testSchema()
+	f := func(seed int64, nRows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rb := NewBlock(s, RowStore, 1<<14)
+		cb := NewBlock(s, ColumnStore, 1<<14)
+		n := int(nRows%64) + 1
+		for i := 0; i < n; i++ {
+			str := make([]byte, rng.Intn(11))
+			for j := range str {
+				str[j] = byte('a' + rng.Intn(26))
+			}
+			row := []types.Datum{
+				types.NewInt64(rng.Int63() - rng.Int63()),
+				types.NewFloat64(rng.NormFloat64()),
+				types.NewDate(int32(rng.Int31() - rng.Int31())),
+				types.NewChar(str),
+			}
+			rb.AppendRow(row...)
+			cb.AppendRow(row...)
+		}
+		for i := 0; i < n; i++ {
+			for c := 0; c < s.NumCols(); c++ {
+				if !types.Equal(rb.DatumAt(c, i), cb.DatumAt(c, i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharPaddingZeroed(t *testing.T) {
+	// Overwriting a longer string with a shorter one must re-pad, so stale
+	// bytes cannot leak through block reuse.
+	s := NewSchema(Column{Name: "s", Type: types.Char, Width: 8})
+	b := NewBlock(s, RowStore, 64)
+	b.AppendRow(types.NewString("longtext"))
+	b.Reset()
+	b.AppendRow(types.NewString("ab"))
+	if got := string(types.TrimPad(b.BytesAt(0, 0))); got != "ab" {
+		t.Fatalf("stale padding leaked: %q", got)
+	}
+}

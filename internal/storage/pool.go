@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Pool is the thread-safe global pool of temporary storage blocks
+// (Section III-A of the paper). A work order checks out a block, appends its
+// output, and either emits the block when full or checks it back in
+// partially filled for the next work order of the same operator. Reuse keeps
+// output locality and avoids fragmentation; the single mutex is intentional —
+// contention on the storage manager at small block sizes is one of the real
+// effects the paper discusses (Section VII-B5).
+type Pool struct {
+	mu sync.Mutex
+	// partial holds partially-filled blocks keyed by owner tag (one slot
+	// per operator instance), so a block is only ever resumed by the
+	// operator that started filling it.
+	partial map[int][]*Block
+	// free holds empty recycled blocks keyed by allocation size.
+	free map[int][]*Block
+
+	gauge     *stats.MemGauge // intermediate-bytes gauge, may be nil
+	checkouts func()          // per-checkout hook, may be nil
+	noRecycle bool
+}
+
+// DisableRecycling makes Release drop block allocations instead of keeping
+// them on the freelist. The MonetDB-style baseline uses it to model full
+// materialization with fresh allocations per intermediate.
+func (p *Pool) DisableRecycling() {
+	p.mu.Lock()
+	p.noRecycle = true
+	p.mu.Unlock()
+}
+
+// NewPool returns an empty pool. gauge (optional) receives allocation sizes
+// of live temporary blocks; onCheckout (optional) is called once per
+// checkout.
+func NewPool(gauge *stats.MemGauge, onCheckout func()) *Pool {
+	return &Pool{
+		partial:   make(map[int][]*Block),
+		free:      make(map[int][]*Block),
+		gauge:     gauge,
+		checkouts: onCheckout,
+	}
+}
+
+// CheckOut returns a block for owner (an operator instance tag) with the
+// given schema, format, and byte budget: a previously checked-in partial
+// block of that owner if one exists, else a recycled empty block, else a new
+// allocation.
+func (p *Pool) CheckOut(owner int, schema *Schema, format Format, blockBytes int) *Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.checkouts != nil {
+		p.checkouts()
+	}
+	if ps := p.partial[owner]; len(ps) > 0 {
+		b := ps[len(ps)-1]
+		p.partial[owner] = ps[:len(ps)-1]
+		return b
+	}
+	if fs := p.free[blockBytes]; len(fs) > 0 {
+		for i := len(fs) - 1; i >= 0; i-- {
+			b := fs[i]
+			if b.Schema() == schema && b.Format() == format {
+				fs[i] = fs[len(fs)-1]
+				p.free[blockBytes] = fs[:len(fs)-1]
+				b.Reset()
+				if p.gauge != nil {
+					p.gauge.Add(int64(b.AllocBytes()))
+				}
+				return b
+			}
+		}
+	}
+	b := NewBlock(schema, format, blockBytes)
+	if p.gauge != nil {
+		p.gauge.Add(int64(b.AllocBytes()))
+	}
+	return b
+}
+
+// CheckIn returns a partially-filled block to the pool for later resumption
+// by the same owner.
+func (p *Pool) CheckIn(owner int, b *Block) {
+	p.mu.Lock()
+	p.partial[owner] = append(p.partial[owner], b)
+	p.mu.Unlock()
+}
+
+// TakePartials removes and returns all partially-filled blocks of owner;
+// called when an operator finishes so its last, non-full blocks can still be
+// transferred downstream (the paper: "partially filled blocks are scheduled
+// for data transfer at the end of the operator's execution").
+func (p *Pool) TakePartials(owner int) []*Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := p.partial[owner]
+	delete(p.partial, owner)
+	return ps
+}
+
+// Release recycles a block whose contents are no longer needed (its consumer
+// operator finished). The allocation is kept for reuse but no longer counts
+// as live intermediate memory.
+func (p *Pool) Release(b *Block) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gauge != nil {
+		p.gauge.Sub(int64(b.AllocBytes()))
+	}
+	sz := b.AllocBytes()
+	if !p.noRecycle && len(p.free[sz]) < 256 { // bound the freelist; beyond that let GC take it
+		p.free[sz] = append(p.free[sz], b)
+	}
+}

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+func TestPoolPartialResume(t *testing.T) {
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	p := NewPool(nil, nil)
+
+	b := p.CheckOut(1, s, ColumnStore, 1024)
+	b.AppendRow(types.NewInt64(7))
+	p.CheckIn(1, b)
+
+	// The same owner resumes the same partial block.
+	b2 := p.CheckOut(1, s, ColumnStore, 1024)
+	if b2 != b || b2.NumRows() != 1 {
+		t.Fatal("owner should resume its partial block")
+	}
+
+	// A different owner must not see owner 1's partial block.
+	p.CheckIn(1, b2)
+	b3 := p.CheckOut(2, s, ColumnStore, 1024)
+	if b3 == b {
+		t.Fatal("partial block leaked across owners")
+	}
+}
+
+func TestPoolRecyclesReleasedBlocks(t *testing.T) {
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	p := NewPool(nil, nil)
+	b := p.CheckOut(1, s, RowStore, 2048)
+	b.AppendRow(types.NewInt64(1))
+	p.Release(b)
+	b2 := p.CheckOut(1, s, RowStore, 2048)
+	if b2 != b {
+		t.Fatal("released block should be recycled")
+	}
+	if b2.NumRows() != 0 {
+		t.Fatal("recycled block should be reset")
+	}
+}
+
+func TestPoolDoesNotRecycleAcrossSchemaOrFormat(t *testing.T) {
+	s1 := NewSchema(Column{Name: "k", Type: types.Int64})
+	s2 := NewSchema(Column{Name: "v", Type: types.Float64})
+	p := NewPool(nil, nil)
+	b := p.CheckOut(1, s1, RowStore, 2048)
+	p.Release(b)
+	if got := p.CheckOut(1, s2, RowStore, 2048); got == b {
+		t.Fatal("block recycled across schemas")
+	}
+	b3 := p.CheckOut(1, s1, ColumnStore, 2048)
+	if b3 == b {
+		t.Fatal("block recycled across formats")
+	}
+}
+
+func TestPoolMemoryGauge(t *testing.T) {
+	var g stats.MemGauge
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	p := NewPool(&g, nil)
+
+	b1 := p.CheckOut(1, s, RowStore, 1024)
+	b2 := p.CheckOut(1, s, RowStore, 1024)
+	want := int64(b1.AllocBytes() + b2.AllocBytes())
+	if g.Live() != want {
+		t.Fatalf("live = %d, want %d", g.Live(), want)
+	}
+
+	// Check-in of a partial block keeps it live.
+	p.CheckIn(1, b1)
+	if g.Live() != want {
+		t.Fatalf("live after check-in = %d, want %d", g.Live(), want)
+	}
+	// Resuming it must not double count.
+	_ = p.CheckOut(1, s, RowStore, 1024)
+	if g.Live() != want {
+		t.Fatalf("live after resume = %d, want %d", g.Live(), want)
+	}
+
+	p.Release(b2)
+	if g.Live() != int64(b1.AllocBytes()) {
+		t.Fatalf("live after release = %d", g.Live())
+	}
+	if g.High() != want {
+		t.Fatalf("high water = %d, want %d", g.High(), want)
+	}
+
+	// Recycled checkout counts as live again.
+	b4 := p.CheckOut(2, s, RowStore, 1024)
+	if b4 != b2 {
+		t.Fatal("expected recycle")
+	}
+	if g.Live() != want {
+		t.Fatalf("live after recycle = %d, want %d", g.Live(), want)
+	}
+}
+
+func TestPoolCheckoutHookAndConcurrency(t *testing.T) {
+	var run stats.Run
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	p := NewPool(nil, run.AddCheckout)
+
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b := p.CheckOut(owner, s, ColumnStore, 512)
+				b.AppendRow(types.NewInt64(int64(i)))
+				if b.Full() {
+					p.Release(b)
+				} else {
+					p.CheckIn(owner, b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if run.PoolCheckouts != workers*per {
+		t.Fatalf("checkouts = %d, want %d", run.PoolCheckouts, workers*per)
+	}
+}
+
+func TestTakePartials(t *testing.T) {
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	p := NewPool(nil, nil)
+	b := p.CheckOut(1, s, RowStore, 1024)
+	b.AppendRow(types.NewInt64(1))
+	p.CheckIn(1, b)
+
+	ps := p.TakePartials(1)
+	if len(ps) != 1 || ps[0] != b {
+		t.Fatalf("TakePartials = %v", ps)
+	}
+	if got := p.TakePartials(1); len(got) != 0 {
+		t.Fatal("partials should be drained")
+	}
+}
+
+func TestLoaderAndTable(t *testing.T) {
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	tb := NewTable("t", s, ColumnStore, 80) // 10 rows per block
+	l := NewLoader(tb)
+	for i := 0; i < 25; i++ {
+		l.Append(types.NewInt64(int64(i)))
+	}
+	l.Close()
+	if tb.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", tb.NumBlocks())
+	}
+	if tb.NumRows() != 25 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.UsedBytes() != 25*8 {
+		t.Fatalf("used bytes = %d", tb.UsedBytes())
+	}
+	// Values survive block boundaries in order.
+	var got []int64
+	for _, b := range tb.Blocks() {
+		for i := 0; i < b.NumRows(); i++ {
+			got = append(got, b.Int64At(0, i))
+		}
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	s := NewSchema(Column{Name: "k", Type: types.Int64})
+	tb := NewTable("nation", s, RowStore, 1024)
+	c.Add(tb)
+	if c.Get("nation") != tb || c.MustGet("nation") != tb {
+		t.Fatal("catalog lookup failed")
+	}
+	if c.Get("region") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add should panic")
+		}
+	}()
+	c.Add(NewTable("nation", s, RowStore, 1024))
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Table is an ordered list of blocks sharing one schema, format, and block
+// size. Base tables are built once by a loader; intermediate tables are
+// appended concurrently by work orders, so Append is synchronized.
+type Table struct {
+	name       string
+	schema     *Schema
+	format     Format
+	blockBytes int
+
+	mu     sync.Mutex
+	blocks []*Block
+}
+
+// NewTable returns an empty table.
+func NewTable(name string, schema *Schema, format Format, blockBytes int) *Table {
+	return &Table{name: name, schema: schema, format: format, blockBytes: blockBytes}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Format returns the tuple layout of the table's blocks.
+func (t *Table) Format() Format { return t.format }
+
+// BlockBytes returns the per-block byte budget.
+func (t *Table) BlockBytes() int { return t.blockBytes }
+
+// Append adds a filled block to the table.
+func (t *Table) Append(b *Block) {
+	t.mu.Lock()
+	t.blocks = append(t.blocks, b)
+	t.mu.Unlock()
+}
+
+// NumBlocks returns the number of blocks.
+func (t *Table) NumBlocks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.blocks)
+}
+
+// Block returns the i-th block.
+func (t *Table) Block(i int) *Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocks[i]
+}
+
+// Blocks returns a snapshot of the block list.
+func (t *Table) Blocks() []*Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Block, len(t.blocks))
+	copy(out, t.blocks)
+	return out
+}
+
+// NumRows returns the total tuple count.
+func (t *Table) NumRows() int64 {
+	var n int64
+	for _, b := range t.Blocks() {
+		n += int64(b.NumRows())
+	}
+	return n
+}
+
+// UsedBytes returns total live tuple bytes across blocks.
+func (t *Table) UsedBytes() int64 {
+	var n int64
+	for _, b := range t.Blocks() {
+		n += int64(b.UsedBytes())
+	}
+	return n
+}
+
+// AllocBytes returns total allocated bytes across blocks.
+func (t *Table) AllocBytes() int64 {
+	var n int64
+	for _, b := range t.Blocks() {
+		n += int64(b.AllocBytes())
+	}
+	return n
+}
+
+// Loader bulk-appends rows to a table, managing block boundaries. It is not
+// safe for concurrent use; generators load single-threaded per table.
+type Loader struct {
+	t   *Table
+	cur *Block
+}
+
+// NewLoader returns a loader for t.
+func NewLoader(t *Table) *Loader { return &Loader{t: t} }
+
+// Append adds one row.
+func (l *Loader) Append(vals ...types.Datum) {
+	if l.cur == nil {
+		l.cur = NewBlock(l.t.schema, l.t.format, l.t.blockBytes)
+	}
+	if !l.cur.AppendRow(vals...) {
+		l.t.Append(l.cur)
+		l.cur = NewBlock(l.t.schema, l.t.format, l.t.blockBytes)
+		l.cur.AppendRow(vals...)
+	}
+}
+
+// Close flushes the final partial block.
+func (l *Loader) Close() {
+	if l.cur != nil && l.cur.NumRows() > 0 {
+		l.t.Append(l.cur)
+	}
+	l.cur = nil
+}
+
+// Catalog maps table names to tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
+
+// Add registers a table; it panics if the name is taken (a plan-construction
+// error).
+func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.name]; ok {
+		panic(fmt.Sprintf("storage: table %q already exists", t.name))
+	}
+	c.tables[t.name] = t
+}
+
+// Get returns the named table, or nil.
+func (c *Catalog) Get(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// MustGet returns the named table and panics if absent.
+func (c *Catalog) MustGet(name string) *Table {
+	t := c.Get(name)
+	if t == nil {
+		panic(fmt.Sprintf("storage: no table %q", name))
+	}
+	return t
+}
+
+// Names returns all registered table names (unordered).
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

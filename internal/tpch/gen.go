@@ -1,0 +1,311 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Dataset is a loaded TPC-H database at one scale factor.
+type Dataset struct {
+	SF float64
+	DB *engine.DB
+
+	Lineitem, Orders, Customer, Supplier *storage.Table
+	Part, Partsupp, Nation, Region       *storage.Table
+}
+
+// rng is a splitmix64 stream. Every row derives its own stream from (table,
+// key) so the data is deterministic and independent of generation order.
+type rng struct{ s uint64 }
+
+func newRNG(parts ...uint64) *rng {
+	s := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		s = types.Mix64(s ^ p)
+	}
+	return &rng{s: s}
+}
+
+func (r *rng) u64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return types.Mix64(r.s)
+}
+
+func (r *rng) intn(n int) int { return int(r.u64() % uint64(n)) }
+
+// rangeInt returns a uniform integer in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// money returns a uniform 2-decimal value in [lo, hi].
+func (r *rng) money(lo, hi int) float64 {
+	return float64(r.rangeInt(lo*100, hi*100)) / 100
+}
+
+func (r *rng) pick(list []string) string { return list[r.intn(len(list))] }
+
+func (r *rng) text(maxWords int) string {
+	n := r.rangeInt(2, maxWords)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += r.pick(words)
+	}
+	return out
+}
+
+// TPC-H reference dates.
+var (
+	startDate   = types.ToDays(1992, 1, 1)
+	endDate     = types.ToDays(1998, 8, 2) // 1998-12-01 minus ~121 days
+	currentDate = types.ToDays(1995, 6, 17)
+)
+
+const genSeed = 0x7c9
+
+// Load generates and loads all eight tables at scale factor sf into a fresh
+// database with the given base-table block size and format.
+func Load(sf float64, blockBytes int, format storage.Format) *Dataset {
+	db := engine.NewDB(blockBytes, format)
+	d := &Dataset{SF: sf, DB: db}
+	d.genRegion()
+	d.genNation()
+	d.genSupplier()
+	d.genPartAndPartsupp()
+	d.genCustomer()
+	d.genOrdersAndLineitem()
+	return d
+}
+
+func scale(sf float64, base int) int {
+	n := int(sf * float64(base))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (d *Dataset) genRegion() {
+	d.Region = d.DB.CreateTable("region", RegionSchema)
+	l := storage.NewLoader(d.Region)
+	for i, name := range regions {
+		r := newRNG(genSeed, 1, uint64(i))
+		l.Append(types.NewInt64(int64(i)), types.NewString(name), types.NewString(r.text(6)))
+	}
+	l.Close()
+}
+
+func (d *Dataset) genNation() {
+	d.Nation = d.DB.CreateTable("nation", NationSchema)
+	l := storage.NewLoader(d.Nation)
+	for i, n := range nations {
+		r := newRNG(genSeed, 2, uint64(i))
+		l.Append(types.NewInt64(int64(i)), types.NewString(n.name),
+			types.NewInt64(n.region), types.NewString(r.text(6)))
+	}
+	l.Close()
+}
+
+func phone(r *rng, nationkey int64) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", nationkey+10,
+		r.rangeInt(100, 999), r.rangeInt(100, 999), r.rangeInt(1000, 9999))
+}
+
+func (d *Dataset) numSuppliers() int { return scale(d.SF, suppliersPerSF) }
+func (d *Dataset) numParts() int     { return scale(d.SF, partsPerSF) }
+func (d *Dataset) numCustomers() int { return scale(d.SF, customersPerSF) }
+func (d *Dataset) numOrders() int    { return scale(d.SF, customersPerSF*ordersPerCust) }
+
+func (d *Dataset) genSupplier() {
+	d.Supplier = d.DB.CreateTable("supplier", SupplierSchema)
+	l := storage.NewLoader(d.Supplier)
+	for k := 1; k <= d.numSuppliers(); k++ {
+		r := newRNG(genSeed, 3, uint64(k))
+		nk := int64(r.intn(len(nations)))
+		comment := r.text(6)
+		// dbgen plants 'Customer ... Complaints' in a small fraction of
+		// supplier comments (the Q16 NOT IN subquery population).
+		if r.intn(100) == 0 {
+			comment = "Customer " + r.pick(words) + " Complaints" // fits CHAR(44)
+		}
+		l.Append(
+			types.NewInt64(int64(k)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", k)),
+			types.NewString(r.text(4)),
+			types.NewInt64(nk),
+			types.NewString(phone(r, nk)),
+			types.NewFloat64(r.money(-999, 9999)),
+			types.NewString(comment),
+		)
+	}
+	l.Close()
+}
+
+// partPrice is dbgen's retail price function: deterministic in the part key,
+// so lineitem prices can be derived without a lookup.
+func partPrice(partkey int64) float64 {
+	return float64(90000+((partkey/10)%20001)+100*(partkey%1000)) / 100
+}
+
+func (d *Dataset) genPartAndPartsupp() {
+	d.Part = d.DB.CreateTable("part", PartSchema)
+	d.Partsupp = d.DB.CreateTable("partsupp", PartsuppSchema)
+	lp := storage.NewLoader(d.Part)
+	ls := storage.NewLoader(d.Partsupp)
+	nSupp := int64(d.numSuppliers())
+	nPart := d.numParts()
+	for k := 1; k <= nPart; k++ {
+		r := newRNG(genSeed, 4, uint64(k))
+		name := r.pick(colors) + " " + r.pick(colors) + " " + r.pick(colors)
+		brand := fmt.Sprintf("Brand#%d%d", r.rangeInt(1, 5), r.rangeInt(1, 5))
+		ptype := r.pick(types1) + " " + r.pick(types2) + " " + r.pick(types3)
+		l := int64(k)
+		lp.Append(
+			types.NewInt64(l),
+			types.NewString(name),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", r.rangeInt(1, 5))),
+			types.NewString(brand),
+			types.NewString(ptype),
+			types.NewInt64(int64(r.rangeInt(1, 50))),
+			types.NewString(r.pick(containers1)+" "+r.pick(containers2)),
+			types.NewFloat64(partPrice(l)),
+			types.NewString(r.pick(words)),
+		)
+		for i := int64(0); i < suppsPerPart; i++ {
+			sk := (l+i*(nSupp/suppsPerPart+1))%nSupp + 1
+			ls.Append(
+				types.NewInt64(l),
+				types.NewInt64(sk),
+				types.NewInt64(int64(r.rangeInt(1, 9999))),
+				types.NewFloat64(r.money(1, 1000)),
+				types.NewString(r.text(7)),
+			)
+		}
+	}
+	lp.Close()
+	ls.Close()
+}
+
+func (d *Dataset) genCustomer() {
+	d.Customer = d.DB.CreateTable("customer", CustomerSchema)
+	l := storage.NewLoader(d.Customer)
+	for k := 1; k <= d.numCustomers(); k++ {
+		r := newRNG(genSeed, 5, uint64(k))
+		nk := int64(r.intn(len(nations)))
+		l.Append(
+			types.NewInt64(int64(k)),
+			types.NewString(fmt.Sprintf("Customer#%09d", k)),
+			types.NewString(r.text(4)),
+			types.NewInt64(nk),
+			types.NewString(phone(r, nk)),
+			types.NewFloat64(r.money(-999, 9999)),
+			types.NewString(r.pick(segments)),
+			types.NewString(r.text(7)),
+		)
+	}
+	l.Close()
+}
+
+func (d *Dataset) genOrdersAndLineitem() {
+	d.Orders = d.DB.CreateTable("orders", OrdersSchema)
+	d.Lineitem = d.DB.CreateTable("lineitem", LineitemSchema)
+	lo := storage.NewLoader(d.Orders)
+	ll := storage.NewLoader(d.Lineitem)
+	nCust := d.numCustomers()
+	nPart := d.numParts()
+	nSupp := d.numSuppliers()
+
+	for ok := 1; ok <= d.numOrders(); ok++ {
+		r := newRNG(genSeed, 6, uint64(ok))
+		orderdate := int32(int(startDate) + r.intn(int(endDate-startDate)+1))
+		nLines := r.rangeInt(1, 7)
+		total := 0.0
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			partkey := int64(r.rangeInt(1, nPart))
+			suppkey := int64(r.rangeInt(1, nSupp))
+			qty := float64(r.rangeInt(1, 50))
+			extprice := qty * partPrice(partkey)
+			discount := float64(r.rangeInt(0, 10)) / 100
+			tax := float64(r.rangeInt(0, 8)) / 100
+			shipdate := orderdate + int32(r.rangeInt(1, 121))
+			commitdate := orderdate + int32(r.rangeInt(30, 90))
+			receiptdate := shipdate + int32(r.rangeInt(1, 30))
+			var returnflag string
+			if receiptdate <= currentDate {
+				if r.intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			} else {
+				returnflag = "N"
+			}
+			linestatus := "F"
+			if shipdate > currentDate {
+				linestatus = "O"
+				allF = false
+			} else {
+				allO = false
+			}
+			total += extprice * (1 + tax) * (1 - discount)
+			ll.Append(
+				types.NewInt64(int64(ok)),
+				types.NewInt64(partkey),
+				types.NewInt64(suppkey),
+				types.NewInt64(int64(ln)),
+				types.NewFloat64(qty),
+				types.NewFloat64(extprice),
+				types.NewFloat64(discount),
+				types.NewFloat64(tax),
+				types.NewString(returnflag),
+				types.NewString(linestatus),
+				types.NewDate(shipdate),
+				types.NewDate(commitdate),
+				types.NewDate(receiptdate),
+				types.NewString(r.pick(shipinstructs)),
+				types.NewString(r.pick(shipmodes)),
+				types.NewString(r.text(6)),
+			)
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		comment := r.text(6)
+		// ~1.5% of order comments contain the Q13 'special ... requests'
+		// pattern (dbgen plants similar phrases).
+		if r.intn(64) == 0 {
+			comment = r.pick(words) + " special " + r.pick(words) + " requests " + r.pick(words)
+		}
+		// dbgen never assigns orders to customers whose key is a
+		// multiple of 3, so a third of customers stay order-less (Q13's
+		// zero bucket, Q22's anti-join population).
+		custkey := r.rangeInt(1, nCust)
+		for nCust >= 3 && custkey%3 == 0 {
+			custkey = r.rangeInt(1, nCust)
+		}
+		lo.Append(
+			types.NewInt64(int64(ok)),
+			types.NewInt64(int64(custkey)),
+			types.NewString(status),
+			types.NewFloat64(total),
+			types.NewDate(orderdate),
+			types.NewString(r.pick(priorities)),
+			types.NewString(fmt.Sprintf("Clerk#%09d", r.rangeInt(1, 1000))),
+			types.NewInt64(0),
+			types.NewString(comment),
+		)
+	}
+	lo.Close()
+	ll.Close()
+}
+
+// Table returns a table by TPC-H name.
+func (d *Dataset) Table(name string) *storage.Table { return d.DB.Catalog.MustGet(name) }

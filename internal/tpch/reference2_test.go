@@ -1,0 +1,153 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func TestQ12AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	os := d.Orders.Schema()
+	prio := map[int64]string{}
+	iOK, iP := os.MustColIndex("o_orderkey"), os.MustColIndex("o_orderpriority")
+	eachRow(d.Orders, func(b *storage.Block, r int) {
+		prio[b.Int64At(iOK, r)] = string(types.TrimPad(b.BytesAt(iP, r)))
+	})
+
+	ls := d.Lineitem.Schema()
+	iLOK := ls.MustColIndex("l_orderkey")
+	iMode := ls.MustColIndex("l_shipmode")
+	iShip, iCommit, iReceipt := ls.MustColIndex("l_shipdate"), ls.MustColIndex("l_commitdate"), ls.MustColIndex("l_receiptdate")
+	lo, hi := types.ToDays(1994, 1, 1), types.ToDays(1995, 1, 1)
+	type counts struct{ high, low int64 }
+	want := map[string]*counts{}
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		mode := string(types.TrimPad(b.BytesAt(iMode, r)))
+		if mode != "MAIL" && mode != "SHIP" {
+			return
+		}
+		ship, commit, receipt := b.DateAt(iShip, r), b.DateAt(iCommit, r), b.DateAt(iReceipt, r)
+		if !(commit < receipt && ship < commit && receipt >= lo && receipt < hi) {
+			return
+		}
+		c := want[mode]
+		if c == nil {
+			c = &counts{}
+			want[mode] = c
+		}
+		p := prio[b.Int64At(iLOK, r)]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			c.high++
+		} else {
+			c.low++
+		}
+	})
+
+	rows := runQuery(t, d, 12, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != len(want) {
+		t.Fatalf("q12 modes = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		mode := string(row[0].Bytes())
+		w := want[mode]
+		if w == nil {
+			t.Fatalf("unexpected mode %q", mode)
+		}
+		if row[1].I != w.high || row[2].I != w.low {
+			t.Errorf("q12 %s = (%d,%d), want (%d,%d)", mode, row[1].I, row[2].I, w.high, w.low)
+		}
+	}
+}
+
+func TestQ17AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ps := d.Part.Schema()
+	iPK, iBrand, iCont := ps.MustColIndex("p_partkey"), ps.MustColIndex("p_brand"), ps.MustColIndex("p_container")
+	match := map[int64]bool{}
+	eachRow(d.Part, func(b *storage.Block, r int) {
+		if string(types.TrimPad(b.BytesAt(iBrand, r))) == "Brand#23" &&
+			string(types.TrimPad(b.BytesAt(iCont, r))) == "MED BOX" {
+			match[b.Int64At(iPK, r)] = true
+		}
+	})
+	ls := d.Lineitem.Schema()
+	iLPK, iQty, iExt := ls.MustColIndex("l_partkey"), ls.MustColIndex("l_quantity"), ls.MustColIndex("l_extendedprice")
+	sum := map[int64]float64{}
+	cnt := map[int64]int64{}
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		pk := b.Int64At(iLPK, r)
+		if match[pk] {
+			sum[pk] += b.Float64At(iQty, r)
+			cnt[pk]++
+		}
+	})
+	var total float64
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		pk := b.Int64At(iLPK, r)
+		if match[pk] && b.Float64At(iQty, r) < 0.2*sum[pk]/float64(cnt[pk]) {
+			total += b.Float64At(iExt, r)
+		}
+	})
+	want := total / 7
+
+	rows := runQuery(t, d, 17, engine.Options{Workers: 4, UoTBlocks: 2}, QueryOpts{})
+	if len(rows) != 1 {
+		t.Fatalf("q17 rows = %d", len(rows))
+	}
+	if got := rows[0][0].F; math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("q17 = %v, want %v", got, want)
+	}
+}
+
+func TestQ18AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ls := d.Lineitem.Schema()
+	iLOK, iQty := ls.MustColIndex("l_orderkey"), ls.MustColIndex("l_quantity")
+	perOrder := map[int64]float64{}
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		perOrder[b.Int64At(iLOK, r)] += b.Float64At(iQty, r)
+	})
+	var wantOrders []int64
+	for ok, q := range perOrder {
+		if q > 300 {
+			wantOrders = append(wantOrders, ok)
+		}
+	}
+
+	rows := runQuery(t, d, 18, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != len(wantOrders) {
+		t.Fatalf("q18 rows = %d, want %d", len(rows), len(wantOrders))
+	}
+	seen := map[int64]bool{}
+	for _, row := range rows {
+		seen[row[1].I] = true // o_orderkey column
+		if row[4].F <= 300 {
+			t.Errorf("q18 emitted order with sum_qty %v", row[4].F)
+		}
+	}
+	for _, ok := range wantOrders {
+		if !seen[ok] {
+			t.Errorf("q18 missing order %d", ok)
+		}
+	}
+}
+
+func TestQ16DistinctSuppliers(t *testing.T) {
+	d := testData(t)
+	rows := runQuery(t, d, 16, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) == 0 {
+		t.Fatal("q16 empty")
+	}
+	// Every supplier count must be between 1 and 4 (suppsPerPart = 4 offers
+	// per part, so a (brand,type,size) group has at least one and counts
+	// distinct suppliers).
+	for _, row := range rows {
+		if c := row[3].I; c < 1 {
+			t.Fatalf("q16 non-positive distinct count: %v", row)
+		}
+	}
+}

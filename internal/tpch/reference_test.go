@@ -1,0 +1,232 @@
+package tpch
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// These tests validate absolute correctness (not just cross-configuration
+// consistency) by recomputing selected queries with brute-force scans over
+// the raw generated tables.
+
+func eachRow(t *storage.Table, fn func(b *storage.Block, r int)) {
+	for _, b := range t.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			fn(b, r)
+		}
+	}
+}
+
+func TestQ6AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ls := d.Lineitem.Schema()
+	iShip, iDisc, iQty := ls.MustColIndex("l_shipdate"), ls.MustColIndex("l_discount"), ls.MustColIndex("l_quantity")
+	iExt := ls.MustColIndex("l_extendedprice")
+	lo, hi := types.ToDays(1994, 1, 1), types.ToDays(1995, 1, 1)
+	want := 0.0
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		s := b.DateAt(iShip, r)
+		disc := b.Float64At(iDisc, r)
+		if s >= lo && s < hi && disc >= 0.05 && disc <= 0.07 && b.Float64At(iQty, r) < 24 {
+			want += b.Float64At(iExt, r) * disc
+		}
+	})
+	rows := runQuery(t, d, 6, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != 1 {
+		t.Fatalf("q6 rows = %d", len(rows))
+	}
+	if got := rows[0][0].F; math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("q6 revenue = %v, want %v", got, want)
+	}
+}
+
+func TestQ1AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ls := d.Lineitem.Schema()
+	iShip := ls.MustColIndex("l_shipdate")
+	iRF, iLS := ls.MustColIndex("l_returnflag"), ls.MustColIndex("l_linestatus")
+	iQty, iExt, iDisc, iTax := ls.MustColIndex("l_quantity"), ls.MustColIndex("l_extendedprice"),
+		ls.MustColIndex("l_discount"), ls.MustColIndex("l_tax")
+	cutoff := types.ToDays(1998, 9, 2)
+
+	type acc struct {
+		qty, price, disc, discPrice, charge float64
+		n                                   int64
+	}
+	want := map[string]*acc{}
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		if b.DateAt(iShip, r) > cutoff {
+			return
+		}
+		key := string(types.TrimPad(b.BytesAt(iRF, r))) + "|" + string(types.TrimPad(b.BytesAt(iLS, r)))
+		a := want[key]
+		if a == nil {
+			a = &acc{}
+			want[key] = a
+		}
+		q, e, dc, tx := b.Float64At(iQty, r), b.Float64At(iExt, r), b.Float64At(iDisc, r), b.Float64At(iTax, r)
+		a.qty += q
+		a.price += e
+		a.disc += dc
+		a.discPrice += e * (1 - dc)
+		a.charge += e * (1 - dc) * (1 + tx)
+		a.n++
+	})
+
+	rows := runQuery(t, d, 1, engine.Options{Workers: 4, UoTBlocks: 2}, QueryOpts{})
+	if len(rows) != len(want) {
+		t.Fatalf("q1 groups = %d, want %d", len(rows), len(want))
+	}
+	const tol = 1e-6
+	for _, row := range rows {
+		key := string(row[0].Bytes()) + "|" + string(row[1].Bytes())
+		a := want[key]
+		if a == nil {
+			t.Fatalf("unexpected group %q", key)
+		}
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"sum_qty", row[2].F, a.qty},
+			{"sum_base_price", row[3].F, a.price},
+			{"sum_disc_price", row[4].F, a.discPrice},
+			{"sum_charge", row[5].F, a.charge},
+			{"avg_qty", row[6].F, a.qty / float64(a.n)},
+			{"avg_price", row[7].F, a.price / float64(a.n)},
+			{"avg_disc", row[8].F, a.disc / float64(a.n)},
+		}
+		for _, c := range checks {
+			if math.Abs(c.got-c.want) > tol*(1+math.Abs(c.want)) {
+				t.Errorf("q1 %s %s = %v, want %v", key, c.name, c.got, c.want)
+			}
+		}
+		if row[9].I != a.n {
+			t.Errorf("q1 %s count = %d, want %d", key, row[9].I, a.n)
+		}
+	}
+}
+
+func TestQ4AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ls, os := d.Lineitem.Schema(), d.Orders.Schema()
+	late := map[int64]bool{}
+	iOK, iC, iR := ls.MustColIndex("l_orderkey"), ls.MustColIndex("l_commitdate"), ls.MustColIndex("l_receiptdate")
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		if b.DateAt(iC, r) < b.DateAt(iR, r) {
+			late[b.Int64At(iOK, r)] = true
+		}
+	})
+	lo, hi := types.ToDays(1993, 7, 1), types.ToDays(1993, 10, 1)
+	iOOK, iOD, iPrio := os.MustColIndex("o_orderkey"), os.MustColIndex("o_orderdate"), os.MustColIndex("o_orderpriority")
+	want := map[string]int64{}
+	eachRow(d.Orders, func(b *storage.Block, r int) {
+		if dt := b.DateAt(iOD, r); dt >= lo && dt < hi && late[b.Int64At(iOOK, r)] {
+			want[string(types.TrimPad(b.BytesAt(iPrio, r)))]++
+		}
+	})
+
+	rows := runQuery(t, d, 4, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != len(want) {
+		t.Fatalf("q4 groups = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		if got, w := row[1].I, want[string(row[0].Bytes())]; got != w {
+			t.Errorf("q4 %s = %d, want %d", row[0].Bytes(), got, w)
+		}
+	}
+}
+
+func TestQ13AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	os := d.Orders.Schema()
+	iCK, iCom := os.MustColIndex("o_custkey"), os.MustColIndex("o_comment")
+	perCust := map[int64]int64{}
+	eachRow(d.Orders, func(b *storage.Block, r int) {
+		comment := string(types.TrimPad(b.BytesAt(iCom, r)))
+		if matchesSpecialRequests(comment) {
+			return
+		}
+		perCust[b.Int64At(iCK, r)]++
+	})
+	want := map[int64]int64{} // c_count -> custdist
+	nCust := int64(d.Customer.NumRows())
+	for k := int64(1); k <= nCust; k++ {
+		want[perCust[k]]++
+	}
+
+	rows := runQuery(t, d, 13, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != len(want) {
+		t.Fatalf("q13 buckets = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		if got, w := row[1].I, want[row[0].I]; got != w {
+			t.Errorf("q13 c_count=%d custdist = %d, want %d", row[0].I, got, w)
+		}
+	}
+	// Q22 precondition: the zero bucket must exist and be large.
+	if want[0] < nCust/4 {
+		t.Errorf("zero-order customers = %d of %d; generator skew broken", want[0], nCust)
+	}
+}
+
+// matchesSpecialRequests mirrors LIKE '%special%requests%'.
+func matchesSpecialRequests(s string) bool {
+	i := indexOf(s, "special")
+	if i < 0 {
+		return false
+	}
+	return indexOf(s[i+len("special"):], "requests") >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestQ15AgainstBruteForce(t *testing.T) {
+	d := testData(t)
+	ls := d.Lineitem.Schema()
+	iSupp, iShip := ls.MustColIndex("l_suppkey"), ls.MustColIndex("l_shipdate")
+	iExt, iDisc := ls.MustColIndex("l_extendedprice"), ls.MustColIndex("l_discount")
+	lo, hi := types.ToDays(1996, 1, 1), types.ToDays(1996, 4, 1)
+	rev := map[int64]float64{}
+	eachRow(d.Lineitem, func(b *storage.Block, r int) {
+		if s := b.DateAt(iShip, r); s >= lo && s < hi {
+			rev[b.Int64At(iSupp, r)] += b.Float64At(iExt, r) * (1 - b.Float64At(iDisc, r))
+		}
+	})
+	best := math.Inf(-1)
+	var bestSupp []int64
+	for k, v := range rev {
+		if v > best {
+			best, bestSupp = v, []int64{k}
+		} else if v == best {
+			bestSupp = append(bestSupp, k)
+		}
+	}
+	sort.Slice(bestSupp, func(i, j int) bool { return bestSupp[i] < bestSupp[j] })
+
+	rows := runQuery(t, d, 15, engine.Options{Workers: 4, UoTBlocks: 1}, QueryOpts{})
+	if len(rows) != len(bestSupp) {
+		t.Fatalf("q15 rows = %d, want %d", len(rows), len(bestSupp))
+	}
+	for i, row := range rows {
+		if row[0].I != bestSupp[i] {
+			t.Errorf("q15 supplier = %d, want %d", row[0].I, bestSupp[i])
+		}
+		if math.Abs(row[4].F-best) > 1e-6*(1+best) {
+			t.Errorf("q15 revenue = %v, want %v", row[4].F, best)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package tpch provides a deterministic TPC-H substrate: a scale-factor
+// data generator with the official schema, cardinality ratios, and value
+// distributions approximated closely enough that the paper's predicate
+// selectivities hold, plus hand-built physical plans for the TPC-H queries
+// the paper evaluates (Q1, 3, 4, 5, 6, 7, 8, 10, 13, 14, 15, 19, 21, 22).
+//
+// Substitution note (see DESIGN.md): this replaces the official dbgen tool,
+// which cannot be vendored. Column widths mirror dbgen's fixed-width layout
+// (long comments trimmed to keep memory proportional), so selectivity and
+// projectivity ratios — what the paper's memory model consumes — are
+// preserved.
+package tpch
+
+import (
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func i64(name string) storage.Column  { return storage.Column{Name: name, Type: types.Int64} }
+func f64(name string) storage.Column  { return storage.Column{Name: name, Type: types.Float64} }
+func date(name string) storage.Column { return storage.Column{Name: name, Type: types.Date} }
+func char(name string, w int) storage.Column {
+	return storage.Column{Name: name, Type: types.Char, Width: w}
+}
+
+// Schemas for the eight TPC-H tables.
+var (
+	LineitemSchema = storage.NewSchema(
+		i64("l_orderkey"), i64("l_partkey"), i64("l_suppkey"), i64("l_linenumber"),
+		f64("l_quantity"), f64("l_extendedprice"), f64("l_discount"), f64("l_tax"),
+		char("l_returnflag", 1), char("l_linestatus", 1),
+		date("l_shipdate"), date("l_commitdate"), date("l_receiptdate"),
+		char("l_shipinstruct", 25), char("l_shipmode", 10), char("l_comment", 44),
+	)
+	OrdersSchema = storage.NewSchema(
+		i64("o_orderkey"), i64("o_custkey"), char("o_orderstatus", 1),
+		f64("o_totalprice"), date("o_orderdate"), char("o_orderpriority", 15),
+		char("o_clerk", 15), i64("o_shippriority"), char("o_comment", 49),
+	)
+	CustomerSchema = storage.NewSchema(
+		i64("c_custkey"), char("c_name", 18), char("c_address", 25), i64("c_nationkey"),
+		char("c_phone", 15), f64("c_acctbal"), char("c_mktsegment", 10), char("c_comment", 47),
+	)
+	SupplierSchema = storage.NewSchema(
+		i64("s_suppkey"), char("s_name", 18), char("s_address", 25), i64("s_nationkey"),
+		char("s_phone", 15), f64("s_acctbal"), char("s_comment", 44),
+	)
+	PartSchema = storage.NewSchema(
+		i64("p_partkey"), char("p_name", 35), char("p_mfgr", 25), char("p_brand", 10),
+		char("p_type", 25), i64("p_size"), char("p_container", 10),
+		f64("p_retailprice"), char("p_comment", 14),
+	)
+	PartsuppSchema = storage.NewSchema(
+		i64("ps_partkey"), i64("ps_suppkey"), i64("ps_availqty"),
+		f64("ps_supplycost"), char("ps_comment", 50),
+	)
+	NationSchema = storage.NewSchema(
+		i64("n_nationkey"), char("n_name", 12), i64("n_regionkey"), char("n_comment", 44),
+	)
+	RegionSchema = storage.NewSchema(
+		i64("r_regionkey"), char("r_name", 12), char("r_comment", 44),
+	)
+)
+
+// Cardinality ratios per unit scale factor (TPC-H specification 4.2.5).
+const (
+	customersPerSF = 150000
+	ordersPerCust  = 10
+	suppliersPerSF = 10000
+	partsPerSF     = 200000
+	suppsPerPart   = 4
+)
+
+// nations lists the 25 TPC-H nations with their region keys.
+var nations = []struct {
+	name   string
+	region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+
+var shipmodes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var shipinstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var types1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var types2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var types3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+	"blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+	"coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+	"dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost",
+	"goldenrod", "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory",
+}
+
+var words = []string{
+	"the", "quickly", "final", "pending", "furiously", "carefully", "express", "bold",
+	"regular", "ironic", "even", "special", "silent", "slyly", "blithely", "unusual",
+	"requests", "deposits", "packages", "accounts", "instructions", "theodolites", "foxes",
+	"pinto", "beans", "dependencies", "excuses", "platelets", "asymptotes", "courts", "ideas",
+}

@@ -1,0 +1,251 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+const testSF = 0.01
+
+var (
+	dsOnce sync.Once
+	dsCol  *Dataset
+)
+
+// testData loads (once) a small column-store dataset shared by tests.
+func testData(t *testing.T) *Dataset {
+	t.Helper()
+	dsOnce.Do(func() { dsCol = Load(testSF, 64<<10, storage.ColumnStore) })
+	return dsCol
+}
+
+func TestGeneratorCardinalities(t *testing.T) {
+	d := testData(t)
+	if got := d.Region.NumRows(); got != 5 {
+		t.Errorf("region rows = %d", got)
+	}
+	if got := d.Nation.NumRows(); got != 25 {
+		t.Errorf("nation rows = %d", got)
+	}
+	if got := d.Customer.NumRows(); got != int64(testSF*customersPerSF) {
+		t.Errorf("customer rows = %d", got)
+	}
+	if got := d.Supplier.NumRows(); got != int64(testSF*suppliersPerSF) {
+		t.Errorf("supplier rows = %d", got)
+	}
+	if got := d.Orders.NumRows(); got != int64(testSF*customersPerSF*ordersPerCust) {
+		t.Errorf("orders rows = %d", got)
+	}
+	if got := d.Part.NumRows(); got != int64(testSF*partsPerSF) {
+		t.Errorf("part rows = %d", got)
+	}
+	if got := d.Partsupp.NumRows(); got != 4*d.Part.NumRows() {
+		t.Errorf("partsupp rows = %d", got)
+	}
+	// Lineitem averages 4 lines per order.
+	lpo := float64(d.Lineitem.NumRows()) / float64(d.Orders.NumRows())
+	if lpo < 3.5 || lpo > 4.5 {
+		t.Errorf("lines per order = %.2f", lpo)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Load(0.002, 16<<10, storage.ColumnStore)
+	b := Load(0.002, 32<<10, storage.RowStore) // layout must not change values
+	ra, rb := engine.Rows(a.Lineitem), engine.Rows(b.Lineitem)
+	if len(ra) != len(rb) {
+		t.Fatalf("row counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		for c := range ra[i] {
+			if !types.Equal(ra[i][c], rb[i][c]) {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, c, ra[i][c], rb[i][c])
+			}
+		}
+	}
+}
+
+func TestGeneratorValueDomains(t *testing.T) {
+	d := testData(t)
+	ls := d.Lineitem.Schema()
+	iShip, iCommit, iReceipt := ls.MustColIndex("l_shipdate"), ls.MustColIndex("l_commitdate"), ls.MustColIndex("l_receiptdate")
+	iDisc, iQty := ls.MustColIndex("l_discount"), ls.MustColIndex("l_quantity")
+	for _, b := range d.Lineitem.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			ship, commit, receipt := b.DateAt(iShip, r), b.DateAt(iCommit, r), b.DateAt(iReceipt, r)
+			if receipt <= ship {
+				t.Fatal("receiptdate must follow shipdate")
+			}
+			if y := types.Year(ship); y < 1992 || y > 1998 {
+				t.Fatalf("shipdate year %d", y)
+			}
+			_ = commit
+			if disc := b.Float64At(iDisc, r); disc < 0 || disc > 0.10 {
+				t.Fatalf("discount %v", disc)
+			}
+			if q := b.Float64At(iQty, r); q < 1 || q > 50 {
+				t.Fatalf("quantity %v", q)
+			}
+		}
+	}
+	// Orders dates within spec range.
+	os := d.Orders.Schema()
+	iDate := os.MustColIndex("o_orderdate")
+	for _, b := range d.Orders.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			dt := b.DateAt(iDate, r)
+			if dt < startDate || dt > endDate {
+				t.Fatalf("orderdate out of range: %v", types.NewDate(dt))
+			}
+		}
+	}
+}
+
+func TestPredicateSelectivitiesRoughlyMatchPaper(t *testing.T) {
+	d := testData(t)
+	// Q6-style filter: ~1.5-2.5% of lineitem (paper-scale: highly selective).
+	ls := d.Lineitem.Schema()
+	n := float64(d.Lineitem.NumRows())
+	count := 0
+	iShip, iDisc, iQty := ls.MustColIndex("l_shipdate"), ls.MustColIndex("l_discount"), ls.MustColIndex("l_quantity")
+	lo, hi := types.ToDays(1994, 1, 1), types.ToDays(1995, 1, 1)
+	for _, b := range d.Lineitem.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			if s := b.DateAt(iShip, r); s >= lo && s < hi {
+				if disc := b.Float64At(iDisc, r); disc >= 0.05 && disc <= 0.07 {
+					if b.Float64At(iQty, r) < 24 {
+						count++
+					}
+				}
+			}
+		}
+	}
+	sel := float64(count) / n
+	if sel < 0.005 || sel > 0.05 {
+		t.Errorf("Q6 selectivity %.4f outside plausible range", sel)
+	}
+}
+
+func runQuery(t *testing.T, d *Dataset, num int, opts engine.Options, qo QueryOpts) [][]types.Datum {
+	t.Helper()
+	b, err := Build(d, num, qo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(b, opts)
+	if err != nil {
+		t.Fatalf("q%d: %v", num, err)
+	}
+	rows := engine.Rows(res.Table)
+	engine.SortRows(rows)
+	return rows
+}
+
+func rowsEqual(a, b [][]types.Datum) (bool, string) {
+	if len(a) != len(b) {
+		return false, fmt.Sprintf("row counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false, fmt.Sprintf("row %d arity", i)
+		}
+		for c := range a[i] {
+			x, y := a[i][c], b[i][c]
+			if x.Ty == types.Float64 || y.Ty == types.Float64 {
+				fx, fy := x.Float(), y.Float()
+				tol := 1e-6 * (1 + math.Abs(fx))
+				if math.Abs(fx-fy) > tol {
+					return false, fmt.Sprintf("row %d col %d: %v vs %v", i, c, x, y)
+				}
+				continue
+			}
+			if !types.Equal(x, y) {
+				return false, fmt.Sprintf("row %d col %d: %v vs %v", i, c, x, y)
+			}
+		}
+	}
+	return true, ""
+}
+
+// TestQueriesInvariantAcrossConfigurations is the main correctness oracle:
+// every implemented query returns the same result across the UoT spectrum,
+// worker counts, temp formats, and LIP on/off.
+func TestQueriesInvariantAcrossConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full query matrix in short mode")
+	}
+	d := testData(t)
+	for _, num := range Numbers() {
+		num := num
+		t.Run(fmt.Sprintf("q%02d", num), func(t *testing.T) {
+			t.Parallel()
+			base := runQuery(t, d, num, engine.Options{Workers: 1, UoTBlocks: 1, TempBlockBytes: 16 << 10}, QueryOpts{})
+			// Scalar aggregates return a single row; highly selective
+			// queries can legitimately return none at tiny scale factors.
+			mayBeEmpty := map[int]bool{2: true, 17: true, 18: true, 20: true}
+			if !mayBeEmpty[num] && len(base) == 0 {
+				t.Fatalf("q%d returned no rows at SF %.2f", num, testSF)
+			}
+			configs := []struct {
+				label string
+				opts  engine.Options
+				qo    QueryOpts
+			}{
+				{"uot=table", engine.Options{Workers: 4, UoTBlocks: core.UoTTable, TempBlockBytes: 16 << 10}, QueryOpts{}},
+				{"uot=3,T=4", engine.Options{Workers: 4, UoTBlocks: 3, TempBlockBytes: 16 << 10}, QueryOpts{}},
+				{"temp=col", engine.Options{Workers: 2, UoTBlocks: 1, TempBlockBytes: 16 << 10, TempFormat: storage.ColumnStore}, QueryOpts{}},
+				{"bigtemp", engine.Options{Workers: 4, UoTBlocks: 1, TempBlockBytes: 256 << 10}, QueryOpts{}},
+				{"lip", engine.Options{Workers: 4, UoTBlocks: 1, TempBlockBytes: 16 << 10}, QueryOpts{LIP: true}},
+			}
+			for _, cfg := range configs {
+				got := runQuery(t, d, num, cfg.opts, cfg.qo)
+				if ok, why := rowsEqual(base, got); !ok {
+					t.Errorf("q%d %s differs from baseline: %s", num, cfg.label, why)
+				}
+			}
+		})
+	}
+}
+
+// TestQueriesRowStoreBaseTables re-runs every query on row-store base tables
+// and compares against the column-store results (Fig. 8's configuration).
+func TestQueriesRowStoreBaseTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("row-store matrix in short mode")
+	}
+	d := testData(t)
+	dRow := Load(testSF, 64<<10, storage.RowStore)
+	for _, num := range Numbers() {
+		colRows := runQuery(t, d, num, engine.Options{Workers: 2, UoTBlocks: 1, TempBlockBytes: 16 << 10}, QueryOpts{})
+		rowRows := runQuery(t, dRow, num, engine.Options{Workers: 2, UoTBlocks: 1, TempBlockBytes: 16 << 10}, QueryOpts{})
+		if ok, why := rowsEqual(colRows, rowRows); !ok {
+			t.Errorf("q%d row-store result differs: %s", num, why)
+		}
+	}
+}
+
+func TestUnknownQueryRejected(t *testing.T) {
+	d := testData(t)
+	if _, err := Build(d, 23, QueryOpts{}); err == nil {
+		t.Fatal("query 23 should be unknown")
+	}
+}
+
+func TestAll22QueriesImplemented(t *testing.T) {
+	nums := Numbers()
+	if len(nums) != 22 {
+		t.Fatalf("implemented %d queries, want 22: %v", len(nums), nums)
+	}
+	for want := 1; want <= 22; want++ {
+		if nums[want-1] != want {
+			t.Fatalf("query %d missing: %v", want, nums)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package types
+
+import "math"
+
+// Hashing for join keys and group-by keys. The engine keys hash tables on
+// 64-bit mixes; splitmix64 is fast, stateless, and has full avalanche, which
+// keeps linear-probing clusters short.
+
+// Mix64 applies the splitmix64 finalizer to x.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashInt64 hashes a single integer key.
+func HashInt64(v int64) uint64 { return Mix64(uint64(v)) }
+
+// HashPair hashes a composite two-integer key.
+func HashPair(a, b int64) uint64 {
+	return Mix64(Mix64(uint64(a)) ^ uint64(b)*0x9e3779b97f4a7c15)
+}
+
+// HashBytes hashes a byte string (FNV-1a folded through Mix64).
+func HashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return Mix64(h)
+}
+
+// HashDatum hashes a datum consistently with Equal: equal datums hash equal.
+// Int64 and Date hash by integer value; Float64 by its exact bit-equal
+// integer when integral, else by bits (group-by floats in TPC-H are exact
+// decimals, so this is stable).
+func HashDatum(d Datum) uint64 {
+	switch d.Ty {
+	case Char:
+		return HashBytes(TrimPad(d.B))
+	case Float64:
+		if f := d.F; f == float64(int64(f)) {
+			return Mix64(uint64(int64(f)))
+		}
+		return Mix64(math.Float64bits(d.F))
+	default:
+		return Mix64(uint64(d.I))
+	}
+}
