@@ -3,10 +3,17 @@
 // Usage:
 //
 //	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [IDs...]
+//	uotbench -micro [-json BENCH_PR1.json]
 //
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
-// SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11).
+// SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11, plus CONTEND for
+// the batch-kernel contention profile).
+//
+// -micro runs the build/probe hot-path micro-benchmark suite instead
+// (row-at-a-time reference paths vs. the block-granular batch kernels) and,
+// with -json, writes the machine-readable perf artifact that tracks kernel
+// throughput across PRs.
 package main
 
 import (
@@ -25,11 +32,26 @@ func main() {
 	best := flag.Int("best", 3, "average the best K runs")
 	l3 := flag.Int64("l3", 8<<20, "simulated L3 bytes for the cache model")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
+	jsonPath := flag.String("json", "", "with -micro: write the machine-readable results to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	if *micro {
+		rep := bench.RunMicro()
+		fmt.Print(rep.String())
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 		return
 	}

@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"SEC6B", "Section VI-B (SSB small hash tables)", (*Harness).Sec6BSSBFootprint},
 		{"ABL-UOT", "ablation: full UoT spectrum sweep", (*Harness).AblationUoTSweep},
 		{"ABL-BLOCK", "ablation: block-size sweep", (*Harness).AblationBlockSize},
+		{"CONTEND", "batch-kernel contention profile (shard locks, scratch reuse)", (*Harness).ContentionProfile},
 	}
 }
 

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// Standard testing.B wrappers over the micro suite so `go test -bench` and
+// CI's bench smoke can drive the same kernels cmd/uotbench -micro measures.
+
+func BenchmarkMicroInsertRowG1(b *testing.B)   { benchInsert(1, false)(b) }
+func BenchmarkMicroInsertBlockG1(b *testing.B) { benchInsert(1, true)(b) }
+func BenchmarkMicroInsertRowG8(b *testing.B)   { benchInsert(8, false)(b) }
+func BenchmarkMicroInsertBlockG8(b *testing.B) { benchInsert(8, true)(b) }
+func BenchmarkMicroBloomMutexG8(b *testing.B)  { benchBloom(8, false)(b) }
+func BenchmarkMicroBloomBatchG8(b *testing.B)  { benchBloom(8, true)(b) }
+func BenchmarkMicroProbeRowG8(b *testing.B)    { benchProbe(8, false)(b) }
+func BenchmarkMicroProbeVecG8(b *testing.B)    { benchProbe(8, true)(b) }
+func BenchmarkMicroFilterAlloc(b *testing.B)   { benchFilterBlock(false)(b) }
+func BenchmarkMicroFilterScratch(b *testing.B) { benchFilterBlock(true)(b) }
+
+// TestMicroReportSmoke runs one tiny pass of the report plumbing (not the
+// full auto-scaled suite) to keep the JSON artifact path covered.
+func TestMicroReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro suite is slow")
+	}
+	blocks, _ := microData()
+	if len(blocks) != microBlocks {
+		t.Fatalf("micro dataset has %d blocks", len(blocks))
+	}
+}

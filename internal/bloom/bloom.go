@@ -7,13 +7,18 @@
 package bloom
 
 import (
+	"math/bits"
+	"sync/atomic"
+
 	"repro/internal/types"
 )
 
 // Filter is a blocked bloom filter over 64-bit keys. Each key sets k bits
 // within one 64-byte (512-bit) block chosen by the high hash bits, keeping
-// each membership test within a single cache line. The filter is built
-// single-writer (or with external synchronization) and probed concurrently.
+// each membership test within a single cache line. Adds use lock-free atomic
+// ORs on the block words, so concurrent build work orders populate the
+// filter without any external mutex; probes are plain atomic loads and may
+// run concurrently with the build.
 type Filter struct {
 	blocks []uint64 // 8 words per 512-bit block
 	mask   uint64   // block index mask
@@ -34,7 +39,22 @@ func New(n int, bitsPerKey int) *Filter {
 	return &Filter{blocks: make([]uint64, nBlocks*8), mask: uint64(nBlocks - 1), k: 6}
 }
 
-// Add inserts a key.
+// orWord ORs v into *p atomically, skipping the CAS when every bit is
+// already set (the common case once the filter warms up).
+func orWord(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&v == v {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|v) {
+			return
+		}
+	}
+}
+
+// Add inserts a key. Safe for concurrent use with other Adds and with
+// MayContain.
 func (f *Filter) Add(key int64) {
 	h := types.HashInt64(key)
 	base := (h & f.mask) * 8
@@ -44,12 +64,41 @@ func (f *Filter) Add(key int64) {
 	h2 := ((h >> 32) & 511) | 1
 	for i := 0; i < f.k; i++ {
 		bit := (h1 + uint64(i)*h2) & 511
-		f.blocks[base+bit/64] |= 1 << (bit % 64)
+		orWord(&f.blocks[base+bit/64], 1<<(bit%64))
+	}
+}
+
+// AddMany inserts a batch of keys (the build operator hands over a whole
+// block's gathered key column at once). Bits landing in the same word of a
+// key's cache-line block are coalesced into one atomic OR, so a k=6 add
+// issues at most 6 — typically fewer — atomics per key and zero when the
+// block is already saturated.
+func (f *Filter) AddMany(keys []int64) {
+	words, mask, k := f.blocks, f.mask, f.k
+	for _, key := range keys {
+		h := types.HashInt64(key)
+		base := (h & mask) * 8
+		h1 := (h >> 16) & 511
+		h2 := ((h >> 32) & 511) | 1
+		var masks [8]uint64
+		var dirty uint8
+		for i := 0; i < k; i++ {
+			bit := (h1 + uint64(i)*h2) & 511
+			w := bit >> 6
+			masks[w] |= 1 << (bit & 63)
+			dirty |= 1 << w
+		}
+		// Walk only the touched words (no data-dependent branch per word).
+		for dirty != 0 {
+			w := uint64(bits.TrailingZeros8(dirty))
+			dirty &= dirty - 1
+			orWord(&words[base+w], masks[w])
+		}
 	}
 }
 
 // MayContain reports whether the key might have been added; false means
-// definitely absent.
+// definitely absent. Safe for concurrent use with Add.
 func (f *Filter) MayContain(key int64) bool {
 	h := types.HashInt64(key)
 	base := (h & f.mask) * 8
@@ -57,7 +106,7 @@ func (f *Filter) MayContain(key int64) bool {
 	h2 := ((h >> 32) & 511) | 1
 	for i := 0; i < f.k; i++ {
 		bit := (h1 + uint64(i)*h2) & 511
-		if f.blocks[base+bit/64]&(1<<(bit%64)) == 0 {
+		if atomic.LoadUint64(&f.blocks[base+bit/64])&(1<<(bit%64)) == 0 {
 			return false
 		}
 	}

@@ -2,6 +2,7 @@ package bloom
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -57,6 +58,68 @@ func TestNoFalseNegativesProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAddManyMatchesAdd proves the batch path sets exactly the bits the
+// per-key path sets: two filters built from the same keys answer every probe
+// identically (including false positives, which depend only on the bits).
+func TestAddManyMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63() - rng.Int63()
+	}
+	one, many := New(n, 10), New(n, 10)
+	for _, k := range keys {
+		one.Add(k)
+	}
+	many.AddMany(keys)
+	for i := int64(0); i < 100000; i++ {
+		probe := rng.Int63() - rng.Int63()
+		if one.MayContain(probe) != many.MayContain(probe) {
+			t.Fatalf("Add and AddMany filters disagree on %d", probe)
+		}
+	}
+	for _, k := range keys {
+		if !many.MayContain(k) {
+			t.Fatalf("AddMany false negative for %d", k)
+		}
+	}
+}
+
+// TestConcurrentAdd builds one filter from many goroutines without external
+// locking (run under -race): lock-free atomic adds must lose no bits.
+func TestConcurrentAdd(t *testing.T) {
+	const workers, per = 8, 20000
+	f := New(workers*per, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]int64, per)
+			for i := range keys {
+				keys[i] = int64(w*per + i)
+			}
+			// Mix batch and per-key adds, plus concurrent probes.
+			f.AddMany(keys[:per/2])
+			for _, k := range keys[per/2:] {
+				f.Add(k)
+			}
+			for _, k := range keys[:100] {
+				if !f.MayContain(k) {
+					t.Errorf("concurrent probe lost key %d", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := int64(0); i < workers*per; i++ {
+		if !f.MayContain(i) {
+			t.Fatalf("false negative for %d after concurrent build", i)
+		}
 	}
 }
 

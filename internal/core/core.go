@@ -57,12 +57,26 @@ type ExecCtx struct {
 }
 
 // Output collects what one work-order execution produced: sealed full output
-// blocks, simulated ticks, and row counts.
+// blocks, simulated ticks, row counts, and hot-path contention counters
+// (recorded into stats so cmd/uotbench can report lock traffic before/after
+// batching changes).
 type Output struct {
 	Blocks  []*storage.Block
 	Sim     int64
 	RowsIn  int64
 	RowsOut int64
+
+	// ShardLocks counts hash-table shard-lock acquisitions performed by the
+	// work order (the batch insert kernels take each shard lock once per
+	// block instead of once per row).
+	ShardLocks int64
+	// BatchedRows counts rows that went through a block-granular batch
+	// kernel (InsertBlock, AddMany, vectorized probe) rather than a
+	// row-at-a-time reference path.
+	BatchedRows int64
+	// ScratchHits counts scratch-buffer pool hits: work orders that reused
+	// a previous work order's buffers instead of allocating fresh ones.
+	ScratchHits int64
 }
 
 // WorkOrder is one schedulable unit of operator logic applied to specific

@@ -284,14 +284,17 @@ func (s *sched) onComplete(r wres) {
 	}
 	if s.ctx.Run != nil {
 		s.ctx.Run.Record(stats.WorkOrder{
-			OpID:    int(r.op),
-			OpName:  st.op.Name(),
-			Worker:  r.worker,
-			Start:   r.start,
-			End:     r.end,
-			Sim:     r.out.Sim,
-			Rows:    r.out.RowsIn,
-			RowsOut: r.out.RowsOut,
+			OpID:        int(r.op),
+			OpName:      st.op.Name(),
+			Worker:      r.worker,
+			Start:       r.start,
+			End:         r.end,
+			Sim:         r.out.Sim,
+			Rows:        r.out.RowsIn,
+			RowsOut:     r.out.RowsOut,
+			ShardLocks:  r.out.ShardLocks,
+			BatchedRows: r.out.BatchedRows,
+			ScratchHits: r.out.ScratchHits,
 		})
 	}
 	// Release consumed intermediate blocks.

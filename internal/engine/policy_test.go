@@ -67,7 +67,11 @@ func TestMemoryBudgetPolicy(t *testing.T) {
 		t.Fatalf("results differ under budget: %v vs %v", a, b)
 	}
 	t.Logf("peak temp: unbounded=%d capped=%d", peakFree, peakCapped)
-	if peakCapped > peakFree {
+	// Only compare peaks when the unbounded run actually exceeded the
+	// budget: on low-core hosts the unbounded schedule may never pile up
+	// enough in-flight blocks to cross 64KiB, in which case the policy is
+	// inactive and the two peaks are independent scheduling noise.
+	if peakFree > 64<<10 && peakCapped > peakFree {
 		t.Fatalf("budgeted run used more temp memory (%d) than unbounded (%d)", peakCapped, peakFree)
 	}
 	// The soft cap can overshoot by in-flight work orders' blocks, but it

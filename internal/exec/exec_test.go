@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -331,5 +332,86 @@ func TestJoinTypeStrings(t *testing.T) {
 	}
 	if Sum.String() != "sum" || Max.String() != "max" {
 		t.Error("agg func names wrong")
+	}
+}
+
+// TestConcurrentBuildWorkOrdersWithBloom drives one build operator with many
+// concurrent work orders over a bloom-enabled build (run under -race): the
+// per-row operator mutex was replaced by the lock-free atomic bloom build
+// plus the block-granular insert kernel, and no races may remain.
+func TestConcurrentBuildWorkOrdersWithBloom(t *testing.T) {
+	s := storage.NewSchema(
+		storage.Column{Name: "k", Type: types.Int64},
+		storage.Column{Name: "v", Type: types.Float64},
+	)
+	const blocks, rowsPer = 24, 256
+	in := make([]*storage.Block, blocks)
+	for bi := range in {
+		b := storage.NewBlock(s, storage.ColumnStore, rowsPer*16+64)
+		for r := 0; r < rowsPer; r++ {
+			b.AppendRow(types.NewInt64(int64(bi*rowsPer+r)), types.NewFloat64(float64(r)))
+		}
+		in[bi] = b
+	}
+	op := NewBuildHash(BuildSpec{
+		Name: "build", InputSchema: s, KeyCols: []int{0}, Payload: []int{1},
+		ExpectedRows: blocks * rowsPer, BuildBloom: true,
+	})
+	ctx := execCtx()
+	op.Init(ctx)
+	op.Start(ctx)
+	wos := op.Feed(ctx, 0, in)
+	if len(wos) != blocks {
+		t.Fatalf("work orders = %d", len(wos))
+	}
+	var wg sync.WaitGroup
+	outs := make([]*core.Output, len(wos))
+	for i, wo := range wos {
+		wg.Add(1)
+		go func(i int, wo core.WorkOrder) {
+			defer wg.Done()
+			outs[i] = &core.Output{}
+			wo.Run(ctx, outs[i])
+		}(i, wo)
+	}
+	wg.Wait()
+	if got := op.HT().Len(); got != blocks*rowsPer {
+		t.Fatalf("table has %d entries, want %d", got, blocks*rowsPer)
+	}
+	var locks, batched int64
+	for _, o := range outs {
+		locks += o.ShardLocks
+		batched += o.BatchedRows
+	}
+	if batched != blocks*rowsPer {
+		t.Fatalf("batched rows = %d, want %d", batched, blocks*rowsPer)
+	}
+	// Lock amortization: far fewer acquisitions than rows (≤64 shards/block).
+	if locks == 0 || locks > int64(blocks*64) {
+		t.Fatalf("shard locks = %d, want 1..%d", locks, blocks*64)
+	}
+	flt := op.Bloom()
+	for k := 0; k < blocks*rowsPer; k++ {
+		if !flt.MayContain(int64(k)) {
+			t.Fatalf("bloom lost key %d", k)
+		}
+	}
+	// Key-only builds take the same batched path.
+	ko := NewBuildHash(BuildSpec{
+		Name: "ko", InputSchema: s, KeyCols: []int{0}, ExpectedRows: blocks * rowsPer,
+	})
+	ko.Init(ctx)
+	ko.Start(ctx)
+	var wg2 sync.WaitGroup
+	for _, wo := range ko.Feed(ctx, 0, in) {
+		wg2.Add(1)
+		go func(wo core.WorkOrder) {
+			defer wg2.Done()
+			wo.Run(ctx, &core.Output{})
+		}(wo)
+	}
+	wg2.Wait()
+	if got := ko.HT().Len(); got != blocks*rowsPer {
+		t.Fatalf("key-only table has %d entries, want %d", got, blocks*rowsPer)
 	}
 }

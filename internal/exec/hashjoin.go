@@ -9,12 +9,21 @@ import (
 	"repro/internal/expr"
 	"repro/internal/hashtable"
 	"repro/internal/storage"
+	"repro/internal/types"
 )
 
 // BuildHashOp consumes its input and builds a join hash table keyed on one
 // or two integer columns, storing a projection of the build side as the
 // per-entry payload. With BuildBloom set it also populates a bloom filter
 // over the first key column for LIP consumers.
+//
+// Build work orders run the block-granular insert kernel
+// (hashtable.InsertBlock): keys are gathered and hashed vectorized, and each
+// hash-table shard lock is taken once per block instead of once per row.
+// The bloom filter is populated with the same gathered key vector through
+// lock-free atomic adds, so concurrent build work orders never serialize on
+// an operator mutex. Insert scratch buffers are pooled across work orders,
+// making the steady-state build allocation-free per block.
 type BuildHashOp struct {
 	core.Base
 	self       core.OpID
@@ -28,7 +37,7 @@ type BuildHashOp struct {
 
 	ht       *hashtable.Table
 	filter   *bloom.Filter
-	bloomMu  sync.Mutex
+	scratch  sync.Pool // *hashtable.InsertScratch
 	readCols []int
 }
 
@@ -128,22 +137,28 @@ func (w *buildWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	if ctx.Sim != nil {
 		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
 	}
-	for r := 0; r < n; r++ {
-		k0 := b.Int64At(o.keyCols[0], r)
-		var k1 int64
-		if len(o.keyCols) == 2 {
-			k1 = b.Int64At(o.keyCols[1], r)
-		}
-		if o.keyOnly {
-			o.ht.InsertKeyOnly(k0, k1)
+	if n > 0 {
+		sc, _ := o.scratch.Get().(*hashtable.InsertScratch)
+		if sc != nil {
+			out.ScratchHits++
 		} else {
-			o.ht.Insert(k0, k1, b, r, o.payloadIdx)
+			sc = &hashtable.InsertScratch{}
 		}
+		var locks int
+		if o.keyOnly {
+			locks = o.ht.InsertBlockKeyOnly(b, o.keyCols, sc)
+		} else {
+			locks = o.ht.InsertBlock(b, o.keyCols, o.payloadIdx, sc)
+		}
+		out.ShardLocks += int64(locks)
+		out.BatchedRows += int64(n)
 		if o.filter != nil {
-			o.bloomMu.Lock()
-			o.filter.Add(k0)
-			o.bloomMu.Unlock()
+			// Reuse the kernel's gathered key column; atomic adds need no
+			// operator-level lock.
+			k0, _ := sc.Keys()
+			o.filter.AddMany(k0)
 		}
+		o.scratch.Put(sc)
 	}
 	if ctx.Sim != nil {
 		// Hash-table inserts are random writes against the growing table.
@@ -190,6 +205,12 @@ func (j JoinType) String() string {
 // ProbeOp probes a build operator's hash table with its pipelined input.
 // The plan must add a blocking edge build→probe; the probe releases the hash
 // table when it finishes.
+//
+// Probe work orders run vectorized: the probe-side key columns are gathered
+// and hashed in one pass (types.HashPairVec) into pooled scratch buffers,
+// and each row probes with hashtable.LookupHashed, so per-row work is one
+// table walk with no re-hashing and the steady state allocates nothing per
+// block.
 type ProbeOp struct {
 	core.Base
 	self      core.OpID
@@ -202,6 +223,25 @@ type ProbeOp struct {
 	buildProj []int
 	out       *storage.Schema
 	readCols  []int
+	scratch   sync.Pool // *probeScratch
+}
+
+// probeScratch holds one probe work order's reusable key and hash vectors.
+type probeScratch struct {
+	k0 []int64
+	k1 []int64
+	h  []uint64
+}
+
+// gather pulls the probe key columns of b into the scratch and hashes them.
+func (sc *probeScratch) gather(b *storage.Block, keyCols []int) {
+	sc.k0 = b.GatherInt64(keyCols[0], sc.k0)
+	if len(keyCols) == 2 {
+		sc.k1 = b.GatherInt64(keyCols[1], sc.k1)
+	} else {
+		sc.k1 = nil
+	}
+	sc.h = types.HashPairVec(sc.k0, sc.k1, sc.h)
 }
 
 // ProbeSpec configures NewProbe.
@@ -308,14 +348,22 @@ func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	em := core.NewEmitter(ctx, out, o.self, o.out)
 	defer em.Close()
 	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+	sc, _ := o.scratch.Get().(*probeScratch)
+	if sc != nil {
+		out.ScratchHits++
+	} else {
+		sc = &probeScratch{}
+	}
+	sc.gather(b, o.keyCols)
+	out.BatchedRows += int64(n)
 	for r := 0; r < n; r++ {
-		k0 := b.Int64At(o.keyCols[0], r)
+		k0 := sc.k0[r]
 		var k1 int64
-		if len(o.keyCols) == 2 {
-			k1 = b.Int64At(o.keyCols[1], r)
+		if sc.k1 != nil {
+			k1 = sc.k1[r]
 		}
 		matched := false
-		ht.Lookup(k0, k1, func(pb *storage.Block, prow int) bool {
+		ht.LookupHashed(sc.h[r], k0, k1, func(pb *storage.Block, prow int) bool {
 			if o.residual != nil {
 				ec.Row, ec.B2, ec.Row2 = r, pb, prow
 				if o.residual.Eval(&ec).I == 0 {
@@ -346,6 +394,7 @@ func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 			}
 		}
 	}
+	o.scratch.Put(sc)
 	if ctx.Sim != nil {
 		out.Sim += ctx.Sim.RandomProbes(int64(n), ht.UsedBytes())
 	}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -33,6 +34,13 @@ type SelectOp struct {
 	readCols  []int // referenced columns, for cache-model charging
 	lips      []LIPRef
 	out       *storage.Schema
+	scratch   sync.Pool // *selScratch
+}
+
+// selScratch is a pooled selection vector: filtered selects reuse one
+// buffer across work orders instead of allocating a fresh []int32 per block.
+type selScratch struct {
+	sel []int32
 }
 
 // SelectSpec configures NewSelect.
@@ -144,26 +152,53 @@ func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
 	defer em.Close()
-	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
-	var lipProbes int64
-rows:
-	for r := 0; r < n; r++ {
-		ec.Row = r
-		if o.pred != nil && o.pred.Eval(&ec).I == 0 {
-			continue
-		}
-		for _, l := range o.lips {
-			lipProbes++
-			if !l.Build.Bloom().MayContain(b.Int64At(l.KeyCol, r)) {
-				continue rows
+	if o.pred == nil && len(o.lips) == 0 {
+		// Dense path: pure projection, no selection vector needed.
+		for r := 0; r < n; r++ {
+			if o.projIdx != nil {
+				em.AppendFrom(b, r, o.projIdx)
+			} else {
+				em.AppendRow(expr.EvalRow(o.projExprs, b, r, ctx.Scalars)...)
 			}
 		}
+		return
+	}
+	// Vectorized path: build a selection vector in pooled scratch, refine it
+	// through the LIP bloom filters, then materialize the survivors.
+	sp, _ := o.scratch.Get().(*selScratch)
+	if sp != nil {
+		out.ScratchHits++
+	} else {
+		sp = &selScratch{}
+	}
+	var sel []int32
+	if o.pred != nil {
+		sel = expr.FilterBlock(o.pred, b, ctx.Scalars, sp.sel)
+	} else {
+		sel = expr.SelectAll(b, sp.sel)
+	}
+	var lipProbes int64
+	for _, l := range o.lips {
+		lipProbes += int64(len(sel))
+		flt := l.Build.Bloom()
+		kept := sel[:0]
+		for _, r := range sel {
+			if flt.MayContain(b.Int64At(l.KeyCol, int(r))) {
+				kept = append(kept, r)
+			}
+		}
+		sel = kept
+	}
+	for _, r := range sel {
 		if o.projIdx != nil {
-			em.AppendFrom(b, r, o.projIdx)
+			em.AppendFrom(b, int(r), o.projIdx)
 		} else {
-			em.AppendRow(expr.EvalRow(o.projExprs, b, r, ctx.Scalars)...)
+			em.AppendRow(expr.EvalRow(o.projExprs, b, int(r), ctx.Scalars)...)
 		}
 	}
+	out.BatchedRows += int64(n)
+	sp.sel = sel[:0] // keep the (possibly re-grown) backing array
+	o.scratch.Put(sp)
 	if ctx.Sim != nil && lipProbes > 0 && len(o.lips) > 0 {
 		// Bloom filters are small; probes are effectively L3-resident.
 		out.Sim += ctx.Sim.RandomProbes(lipProbes, o.lips[0].Build.Bloom().Bytes())

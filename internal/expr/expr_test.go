@@ -219,7 +219,7 @@ func TestLikePatterns(t *testing.T) {
 
 func TestFilterBlock(t *testing.T) {
 	s, b := makeBlock(t)
-	got := FilterBlock(Ge(C(s, "price"), Float(20)), b, nil)
+	got := FilterBlock(Ge(C(s, "price"), Float(20)), b, nil, nil)
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("FilterBlock = %v", got)
 	}
@@ -227,6 +227,42 @@ func TestFilterBlock(t *testing.T) {
 	refined := FilterRows(Like(C(s, "name"), "PROMO%"), b, got, nil)
 	if len(refined) != 1 || refined[0] != 2 {
 		t.Fatalf("FilterRows = %v", refined)
+	}
+}
+
+func TestFilterBlockScratchReuse(t *testing.T) {
+	s, b := makeBlock(t)
+	scratch := make([]int32, 0, 64)
+	got := FilterBlock(Ge(C(s, "price"), Float(20)), b, nil, scratch)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("FilterBlock = %v", got)
+	}
+	if &scratch[:1][0] != &got[:1][0] {
+		t.Fatal("FilterBlock did not reuse the caller's scratch buffer")
+	}
+	// A too-small scratch must still produce a correct (freshly grown) vector.
+	small := make([]int32, 0, 1)
+	got2 := FilterBlock(Ge(C(s, "price"), Float(20)), b, nil, small)
+	if len(got2) != 2 || got2[0] != 1 || got2[1] != 2 {
+		t.Fatalf("FilterBlock with small scratch = %v", got2)
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	_, b := makeBlock(t)
+	sel := SelectAll(b, nil)
+	if len(sel) != b.NumRows() {
+		t.Fatalf("SelectAll len = %d, want %d", len(sel), b.NumRows())
+	}
+	for i, r := range sel {
+		if int(r) != i {
+			t.Fatalf("SelectAll[%d] = %d", i, r)
+		}
+	}
+	scratch := make([]int32, 0, 64)
+	sel2 := SelectAll(b, scratch)
+	if &scratch[:1][0] != &sel2[:1][0] {
+		t.Fatal("SelectAll did not reuse the caller's scratch buffer")
 	}
 }
 

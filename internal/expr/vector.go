@@ -10,15 +10,37 @@ import (
 // paper) rather than pulling one tuple through the whole plan.
 
 // FilterBlock evaluates pred over every row of b and returns the matching
-// row IDs. scalars supplies runtime scalar-parameter values (may be nil).
-func FilterBlock(pred Expr, b *storage.Block, scalars []types.Datum) []int32 {
-	out := make([]int32, 0, b.NumRows())
+// row IDs as a selection vector. scalars supplies runtime scalar-parameter
+// values (may be nil). scratch, when non-nil, provides the backing array for
+// the result — operators pass a pooled per-work-order buffer so the steady
+// state allocates no selection vector per block (pass nil to allocate).
+func FilterBlock(pred Expr, b *storage.Block, scalars []types.Datum, scratch []int32) []int32 {
+	n := b.NumRows()
+	if cap(scratch) < n {
+		scratch = make([]int32, 0, n)
+	}
+	out := scratch[:0]
 	c := Ctx{B: b, Scalars: scalars}
-	for r := 0; r < b.NumRows(); r++ {
+	for r := 0; r < n; r++ {
 		c.Row = r
 		if pred.Eval(&c).I != 0 {
 			out = append(out, int32(r))
 		}
+	}
+	return out
+}
+
+// SelectAll fills a selection vector with every row ID of b, reusing scratch
+// when large enough (the identity selection for predicate-less operators
+// that still need a vector for downstream refinement).
+func SelectAll(b *storage.Block, scratch []int32) []int32 {
+	n := b.NumRows()
+	if cap(scratch) < n {
+		scratch = make([]int32, 0, n)
+	}
+	out := scratch[:n]
+	for r := range out {
+		out[r] = int32(r)
 	}
 	return out
 }

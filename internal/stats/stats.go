@@ -55,6 +55,11 @@ type WorkOrder struct {
 	Sim     int64 // simulated ticks (ns) charged by the cache model, 0 if no sim
 	Rows    int64 // input rows processed
 	RowsOut int64 // output rows produced
+
+	// Contention counters from the batch kernels (see core.Output).
+	ShardLocks  int64 // hash-table shard-lock acquisitions
+	BatchedRows int64 // rows processed by block-granular batch kernels
+	ScratchHits int64 // scratch-buffer pool reuse hits
 }
 
 // Wall returns the wall-clock duration of the work order.
@@ -69,6 +74,10 @@ type OpTotals struct {
 	SimTotal  int64
 	Rows      int64
 	RowsOut   int64
+
+	ShardLocks  int64
+	BatchedRows int64
+	ScratchHits int64
 }
 
 // AvgWall returns the mean wall-clock work-order time.
@@ -155,6 +164,9 @@ func (r *Run) PerOp() []OpTotals {
 		t.SimTotal += w.Sim
 		t.Rows += w.Rows
 		t.RowsOut += w.RowsOut
+		t.ShardLocks += w.ShardLocks
+		t.BatchedRows += w.BatchedRows
+		t.ScratchHits += w.ScratchHits
 	}
 	out := make([]OpTotals, 0, len(m))
 	for _, t := range m {
@@ -181,6 +193,18 @@ func (r *Run) TotalSim() int64 {
 		s += t.SimTotal
 	}
 	return s
+}
+
+// Contention sums the batch-kernel contention counters across all work
+// orders: shard-lock acquisitions, rows processed through batch kernels,
+// and scratch-buffer reuse hits.
+func (r *Run) Contention() (shardLocks, batchedRows, scratchHits int64) {
+	for _, t := range r.PerOp() {
+		shardLocks += t.ShardLocks
+		batchedRows += t.BatchedRows
+		scratchHits += t.ScratchHits
+	}
+	return
 }
 
 // TotalWallWork returns the sum of wall-clock work-order durations (CPU work,

@@ -212,6 +212,78 @@ func (b *Block) AppendRaw(left *Block, lrow int, lproj []int, right *Block, rrow
 	return true
 }
 
+// GatherInt64 copies every row of 8-byte integer column col into dst,
+// reusing dst's backing array when large enough. The column layout (stride,
+// base offset) is resolved once instead of per row, making this the batch
+// kernels' key-column load: a tight strided loop instead of n cell() calls.
+// The column must be 8 bytes wide (Int64/Float64 bits), as with Int64At.
+func (b *Block) GatherInt64(col int, dst []int64) []int64 {
+	n := b.n
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if b.schema.ColWidth(col) != 8 {
+		panic(fmt.Sprintf("storage: GatherInt64 on %d-byte column", b.schema.ColWidth(col)))
+	}
+	var off, stride int
+	if b.format == RowStore {
+		off = b.schema.ColOffset(col)
+		stride = b.schema.RowWidth()
+	} else {
+		off = b.colOff[col]
+		stride = 8
+	}
+	data := b.data
+	for r := 0; r < n; r++ {
+		dst[r] = int64(binary.LittleEndian.Uint64(data[off+r*stride:]))
+	}
+	return dst
+}
+
+// AppendFromMany appends the projection projIdx of the given src rows (in
+// order), stopping when the block fills, and returns how many rows were
+// appended. Column layouts are resolved once per column, not once per cell,
+// so bulk payload copies run a tight offset-stride loop — the batch insert
+// kernel's payload materialization.
+func (b *Block) AppendFromMany(src *Block, rows []int32, projIdx []int) int {
+	free := b.capacity - b.n
+	if free <= 0 || len(rows) == 0 {
+		return 0
+	}
+	if len(rows) < free {
+		free = len(rows)
+	}
+	take := rows[:free]
+	for ci, sc := range projIdx {
+		w := b.schema.ColWidth(ci)
+		var dstOff, dstStride int
+		if b.format == RowStore {
+			dstOff = b.n*b.schema.RowWidth() + b.schema.ColOffset(ci)
+			dstStride = b.schema.RowWidth()
+		} else {
+			dstOff = b.colOff[ci] + b.n*w
+			dstStride = w
+		}
+		var srcOff, srcStride int
+		if src.format == RowStore {
+			srcOff = src.schema.ColOffset(sc)
+			srcStride = src.schema.RowWidth()
+		} else {
+			srcOff = src.colOff[sc]
+			srcStride = w
+		}
+		d := dstOff
+		for _, r := range take {
+			s := srcOff + int(r)*srcStride
+			copy(b.data[d:d+w], src.data[s:s+w])
+			d += dstStride
+		}
+	}
+	b.n += len(take)
+	return len(take)
+}
+
 // Row materializes row i as a datum slice (Char datums alias block memory).
 func (b *Block) Row(i int) []types.Datum {
 	out := make([]types.Datum, b.schema.NumCols())

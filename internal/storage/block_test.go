@@ -215,3 +215,92 @@ func TestCharPaddingZeroed(t *testing.T) {
 		t.Fatalf("stale padding leaked: %q", got)
 	}
 }
+
+func TestGatherInt64MatchesInt64At(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Type: types.Int64},
+		Column{Name: "f", Type: types.Float64},
+		Column{Name: "b", Type: types.Int64},
+	)
+	rng := rand.New(rand.NewSource(11))
+	for _, format := range []Format{RowStore, ColumnStore} {
+		b := NewBlock(s, format, 4096)
+		for !b.Full() {
+			b.AppendRow(
+				types.NewInt64(rng.Int63()-rng.Int63()),
+				types.NewFloat64(rng.NormFloat64()),
+				types.NewInt64(rng.Int63()-rng.Int63()),
+			)
+		}
+		var dst []int64
+		for _, col := range []int{0, 2} {
+			dst = b.GatherInt64(col, dst)
+			if len(dst) != b.NumRows() {
+				t.Fatalf("%v col %d: gathered %d rows, want %d", format, col, len(dst), b.NumRows())
+			}
+			for r, v := range dst {
+				if want := b.Int64At(col, r); v != want {
+					t.Fatalf("%v col %d row %d: got %d want %d", format, col, r, v, want)
+				}
+			}
+		}
+		// Reuse: a large-enough dst must be reused, not reallocated.
+		before := &dst[:1][0]
+		dst = b.GatherInt64(0, dst)
+		if &dst[:1][0] != before {
+			t.Errorf("%v: GatherInt64 reallocated a sufficient dst", format)
+		}
+	}
+}
+
+func TestAppendFromManyMatchesAppendFrom(t *testing.T) {
+	src := NewBlock(testSchema(), ColumnStore, 8192)
+	rng := rand.New(rand.NewSource(12))
+	for !src.Full() {
+		str := make([]byte, rng.Intn(11))
+		for j := range str {
+			str[j] = byte('a' + rng.Intn(26))
+		}
+		src.AppendRow(
+			types.NewInt64(rng.Int63()-rng.Int63()),
+			types.NewFloat64(rng.NormFloat64()),
+			types.NewDate(int32(rng.Int31()-rng.Int31())),
+			types.NewChar(str),
+		)
+	}
+	proj := []int{3, 0} // Char + Int64, out of order
+	dstSch := src.Schema().Project(proj)
+	rows := make([]int32, 0, src.NumRows())
+	for r := src.NumRows() - 1; r >= 0; r-- { // scattered (reverse) row order
+		rows = append(rows, int32(r))
+	}
+	for _, format := range []Format{RowStore, ColumnStore} {
+		want := NewBlock(dstSch, format, 2048)
+		for _, r := range rows {
+			if !want.AppendFrom(src, int(r), proj) {
+				break
+			}
+		}
+		got := NewBlock(dstSch, format, 2048)
+		n := got.AppendFromMany(src, rows, proj)
+		if n != want.NumRows() {
+			t.Fatalf("%v: AppendFromMany appended %d rows, per-row path %d", format, n, want.NumRows())
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < dstSch.NumCols(); c++ {
+				if !types.Equal(got.DatumAt(c, r), want.DatumAt(c, r)) {
+					t.Fatalf("%v row %d col %d: got %v want %v", format, r, c, got.DatumAt(c, r), want.DatumAt(c, r))
+				}
+			}
+		}
+		// Second call continues from where the block left off and respects
+		// the remaining capacity.
+		rest := got.AppendFromMany(src, rows[n:], proj)
+		if got.NumRows() != n+rest || got.NumRows() > got.Capacity() {
+			t.Fatalf("%v: second AppendFromMany overflowed: n=%d rest=%d cap=%d", format, n, rest, got.Capacity())
+		}
+		if full := NewBlock(dstSch, format, 2048); full.AppendFromMany(src, nil, proj) != 0 {
+			t.Fatalf("%v: AppendFromMany with no rows must append 0", format)
+		}
+	}
+}

@@ -22,6 +22,42 @@ func HashPair(a, b int64) uint64 {
 	return Mix64(Mix64(uint64(a)) ^ uint64(b)*0x9e3779b97f4a7c15)
 }
 
+// HashPairVec hashes the composite keys (k0[i], k1[i]) into dst, reusing
+// dst's backing array when it is large enough (block-granular batch hashing
+// for the join build/probe kernels). k1 may be nil, meaning all-zero second
+// keys — equivalent to HashPair(k0[i], 0) — so single-key tables avoid
+// materializing a zero column. Hash values of 0 are forced to 1, so the
+// output is usable directly as hash-table slot tags (0 = empty slot).
+func HashPairVec(k0, k1 []int64, dst []uint64) []uint64 {
+	n := len(k0)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	if k1 == nil {
+		for i, a := range k0 {
+			h := Mix64(Mix64(uint64(a)))
+			if h == 0 {
+				h = 1
+			}
+			dst[i] = h
+		}
+		return dst
+	}
+	_ = k1[n-1]
+	for i, a := range k0 {
+		h := Mix64(Mix64(uint64(a)) ^ uint64(k1[i])*0x9e3779b97f4a7c15)
+		if h == 0 {
+			h = 1
+		}
+		dst[i] = h
+	}
+	return dst
+}
+
 // HashBytes hashes a byte string (FNV-1a folded through Mix64).
 func HashBytes(b []byte) uint64 {
 	const (

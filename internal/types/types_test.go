@@ -178,3 +178,48 @@ func TestDatumString(t *testing.T) {
 		t.Errorf("char string = %q", s)
 	}
 }
+
+func TestHashPairVecMatchesHashPair(t *testing.T) {
+	k0 := []int64{0, 1, -1, 1 << 40, 7, 7}
+	k1 := []int64{0, 2, -2, 3, 0, 1}
+	hs := HashPairVec(k0, k1, nil)
+	if len(hs) != len(k0) {
+		t.Fatalf("len = %d", len(hs))
+	}
+	for i := range k0 {
+		want := HashPair(k0[i], k1[i])
+		if want == 0 {
+			want = 1
+		}
+		if hs[i] != want {
+			t.Errorf("HashPairVec[%d] = %#x, want %#x", i, hs[i], want)
+		}
+	}
+	// nil k1 means all-zero second keys.
+	hs0 := HashPairVec(k0, nil, nil)
+	for i := range k0 {
+		want := HashPair(k0[i], 0)
+		if want == 0 {
+			want = 1
+		}
+		if hs0[i] != want {
+			t.Errorf("single-key HashPairVec[%d] = %#x, want %#x", i, hs0[i], want)
+		}
+	}
+	// Scratch reuse: a big-enough dst is reused, not reallocated.
+	dst := make([]uint64, 0, 16)
+	hs2 := HashPairVec(k0, k1, dst)
+	if &hs2[0] != &dst[:1][0] {
+		t.Error("HashPairVec did not reuse dst")
+	}
+	// Empty input.
+	if got := HashPairVec(nil, nil, nil); len(got) != 0 {
+		t.Errorf("empty input returned %v", got)
+	}
+	// No zero hashes (0 tags an empty hash-table slot).
+	for i := int64(-5000); i < 5000; i++ {
+		if h := HashPairVec([]int64{i}, nil, nil)[0]; h == 0 {
+			t.Fatalf("zero hash for key %d", i)
+		}
+	}
+}
