@@ -8,12 +8,13 @@
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
 // SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11, plus CONTEND for
-// the batch-kernel contention profile).
+// the batch-kernel contention profile and AGG for the aggregation-kernel
+// profile).
 //
-// -micro runs the build/probe hot-path micro-benchmark suite instead
-// (row-at-a-time reference paths vs. the block-granular batch kernels) and,
+// -micro runs the hot-path micro-benchmark suite instead (row-at-a-time
+// reference paths vs. the block-granular batch and aggregation kernels) and,
 // with -json, writes the machine-readable perf artifact that tracks kernel
-// throughput across PRs.
+// throughput across PRs (BENCH_PR1.json, BENCH_PR2.json).
 package main
 
 import (

@@ -1,0 +1,370 @@
+// Package aggtable implements the fixed-width aggregation hash table behind
+// the vectorized group-by path: an open-addressing table keyed by one or two
+// 64-bit integers (int64 and date group keys, the common case across the
+// TPC-H/SSB plans), with groups stored densely so accumulation, merging, and
+// result emission run tight columnar loops instead of per-row map lookups
+// with string keys.
+//
+// The table is deliberately not internally synchronized. Aggregation work
+// orders each own a thread-local partial table; the operator's Final fans
+// out one merge work order per radix partition of the group-hash space, so
+// partials merge in parallel with no shared lock (the aggregation analogue
+// of PR1's shard-lock amortization on the join build).
+package aggtable
+
+import (
+	"repro/internal/types"
+)
+
+// Kind is the aggregate function of one accumulator column. CountDistinct
+// never reaches this package; it stays on the operator's reference map path.
+type Kind uint8
+
+// Aggregate kinds.
+const (
+	Sum Kind = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// Agg describes one accumulator column: its function and whether the
+// argument (and therefore the min/max comparison and the sum that the result
+// is read from) is float-valued.
+type Agg struct {
+	Kind  Kind
+	Float bool
+}
+
+// Cell is one group's accumulator for one aggregate. Mirrors the reference
+// path's accCell so merged results are field-for-field identical: Count
+// counts rows, SumI/SumF accumulate the integer and float views of the
+// argument, MMI/MMF hold the running min/max, Set marks a seen value.
+type Cell struct {
+	Count int64
+	SumI  int64
+	SumF  float64
+	MMI   int64
+	MMF   float64
+	Set   bool
+}
+
+// cellBytes is the in-memory size of one Cell (48 = 5×8 bytes + flag,
+// rounded to alignment); slotBytes is one bucket slot (hash + dense index).
+const (
+	cellBytes = 48
+	slotBytes = 16
+)
+
+// loadFactor is the occupancy threshold that doubles the slot array.
+const loadFactor = 0.7
+
+// slot is one open-addressing bucket: the group hash (0 = empty; hashes come
+// from types.HashPairVec, which never emits 0) and the dense group index.
+type slot struct {
+	h   uint64
+	idx int32
+}
+
+// Table accumulates groups keyed by one or two int64 keys. Group state lives
+// in dense parallel arrays (keys, hashes, cells) indexed by insertion order;
+// the slot array only maps hashes to dense indexes, so growth rehashes 16
+// bytes per group and never moves accumulator state.
+type Table struct {
+	slots   []slot
+	mask    uint64
+	growAt  int
+	nGroups int
+
+	twoKeys bool
+	nAggs   int
+
+	k0     []int64
+	k1     []int64 // nil unless twoKeys
+	hashes []uint64
+	cells  []Cell // nGroups * nAggs, group-major
+
+	zero []Cell // nAggs zero cells, appended per new group
+}
+
+// New returns an empty table for nAggs accumulator columns. capHint sizes the
+// initial slot array (in expected groups).
+func New(nAggs int, twoKeys bool, capHint int) *Table {
+	if capHint < 16 {
+		capHint = 16
+	}
+	n := 1
+	for float64(n)*loadFactor < float64(capHint) {
+		n <<= 1
+	}
+	return &Table{
+		slots:   make([]slot, n),
+		mask:    uint64(n - 1),
+		growAt:  int(loadFactor * float64(n)),
+		twoKeys: twoKeys,
+		nAggs:   nAggs,
+		zero:    make([]Cell, nAggs),
+	}
+}
+
+// Len returns the number of distinct groups.
+func (t *Table) Len() int { return t.nGroups }
+
+// NAggs returns the number of accumulator columns per group.
+func (t *Table) NAggs() int { return t.nAggs }
+
+// Key returns group g's keys (k1 is 0 for single-key tables).
+func (t *Table) Key(g int) (k0, k1 int64) {
+	if t.twoKeys {
+		return t.k0[g], t.k1[g]
+	}
+	return t.k0[g], 0
+}
+
+// Hash returns group g's hash (for radix partitioning).
+func (t *Table) Hash(g int) uint64 { return t.hashes[g] }
+
+// CellAt returns the accumulator of group g, aggregate column j.
+func (t *Table) CellAt(g int32, j int) *Cell { return &t.cells[int(g)*t.nAggs+j] }
+
+// Bytes returns the table's approximate memory footprint: slot array plus the
+// dense group arrays at their allocated capacities.
+func (t *Table) Bytes() int64 {
+	n := int64(len(t.slots)) * slotBytes
+	n += int64(cap(t.k0)+cap(t.k1))*8 + int64(cap(t.hashes))*8
+	n += int64(cap(t.cells)) * cellBytes
+	return n
+}
+
+// upsert finds or creates the group for (h, a, b) and returns its dense
+// index. h must be non-zero (types.HashPairVec guarantees it).
+func (t *Table) upsert(h uint64, a, b int64) int32 {
+	if t.nGroups >= t.growAt {
+		t.grow()
+	}
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s.h == 0 {
+			idx := int32(t.nGroups)
+			t.slots[i] = slot{h: h, idx: idx}
+			t.nGroups++
+			t.k0 = append(t.k0, a)
+			if t.twoKeys {
+				t.k1 = append(t.k1, b)
+			}
+			t.hashes = append(t.hashes, h)
+			t.cells = append(t.cells, t.zero...)
+			return idx
+		}
+		if s.h == h && t.k0[s.idx] == a && (!t.twoKeys || t.k1[s.idx] == b) {
+			return s.idx
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the slot array, rehashing from the dense hash column.
+func (t *Table) grow() {
+	ns := make([]slot, len(t.slots)*2)
+	mask := uint64(len(ns) - 1)
+	for idx, h := range t.hashes {
+		i := h & mask
+		for ns[i].h != 0 {
+			i = (i + 1) & mask
+		}
+		ns[i] = slot{h: h, idx: int32(idx)}
+	}
+	t.slots = ns
+	t.mask = mask
+	t.growAt = int(loadFactor * float64(len(ns)))
+}
+
+// UpsertBlock maps a block of keys to dense group indexes in one pass: row r
+// of the block belongs to group dst[r]. k1 may be nil for single-key tables;
+// hashes must come from types.HashPairVec over (k0, k1). dst's backing array
+// is reused when large enough.
+func (t *Table) UpsertBlock(k0, k1 []int64, hashes []uint64, dst []int32) []int32 {
+	n := len(hashes)
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	if k1 == nil {
+		for r, h := range hashes {
+			dst[r] = t.upsert(h, k0[r], 0)
+		}
+		return dst
+	}
+	for r, h := range hashes {
+		dst[r] = t.upsert(h, k0[r], k1[r])
+	}
+	return dst
+}
+
+// AccumCount bumps aggregate column j's row count for each row's group (the
+// COUNT(*) kernel: no argument column to read).
+func (t *Table) AccumCount(j int, groups []int32) {
+	cells, na := t.cells, t.nAggs
+	for _, g := range groups {
+		cells[int(g)*na+j].Count++
+	}
+}
+
+// AccumInt folds an integer argument column (int64 or widened date) into
+// aggregate column j. Sum/Avg accumulate both the integer and float views,
+// exactly like the reference path's per-row cell updates.
+func (t *Table) AccumInt(j int, a Agg, groups []int32, vals []int64) {
+	cells, na := t.cells, t.nAggs
+	switch a.Kind {
+	case Sum, Avg:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			v := vals[r]
+			c.Count++
+			c.SumI += v
+			c.SumF += float64(v)
+		}
+	case Min:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			c.Count++
+			if v := vals[r]; !c.Set || v < c.MMI {
+				c.MMI = v
+				c.Set = true
+			}
+		}
+	case Max:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			c.Count++
+			if v := vals[r]; !c.Set || v > c.MMI {
+				c.MMI = v
+				c.Set = true
+			}
+		}
+	default: // Count with an (ignored) argument
+		t.AccumCount(j, groups)
+	}
+}
+
+// AccumFloat folds a float argument column into aggregate column j. The
+// integer sum stays untouched — a Float64 datum's integer view is 0 on the
+// reference path too.
+func (t *Table) AccumFloat(j int, a Agg, groups []int32, vals []float64) {
+	cells, na := t.cells, t.nAggs
+	switch a.Kind {
+	case Sum, Avg:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			c.Count++
+			c.SumF += vals[r]
+		}
+	case Min:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			c.Count++
+			if v := vals[r]; !c.Set || v < c.MMF {
+				c.MMF = v
+				c.Set = true
+			}
+		}
+	case Max:
+		for r, g := range groups {
+			c := &cells[int(g)*na+j]
+			c.Count++
+			if v := vals[r]; !c.Set || v > c.MMF {
+				c.MMF = v
+				c.Set = true
+			}
+		}
+	default:
+		t.AccumCount(j, groups)
+	}
+}
+
+// UpdateInt folds one integer value into a cell (the per-row path for
+// computed aggregate arguments that bypass the columnar gathers but still
+// accumulate into fixed-width cells).
+func UpdateInt(c *Cell, a Agg, v int64) {
+	c.Count++
+	switch a.Kind {
+	case Sum, Avg:
+		c.SumI += v
+		c.SumF += float64(v)
+	case Min:
+		if !c.Set || v < c.MMI {
+			c.MMI = v
+			c.Set = true
+		}
+	case Max:
+		if !c.Set || v > c.MMI {
+			c.MMI = v
+			c.Set = true
+		}
+	}
+}
+
+// UpdateFloat folds one float value into a cell.
+func UpdateFloat(c *Cell, a Agg, v float64) {
+	c.Count++
+	switch a.Kind {
+	case Sum, Avg:
+		c.SumF += v
+	case Min:
+		if !c.Set || v < c.MMF {
+			c.MMF = v
+			c.Set = true
+		}
+	case Max:
+		if !c.Set || v > c.MMF {
+			c.MMF = v
+			c.Set = true
+		}
+	}
+}
+
+// MergeCell folds src into dst (partial-table merge).
+func MergeCell(dst, src *Cell, a Agg) {
+	dst.Count += src.Count
+	dst.SumI += src.SumI
+	dst.SumF += src.SumF
+	if !src.Set {
+		return
+	}
+	if !dst.Set {
+		dst.MMI, dst.MMF, dst.Set = src.MMI, src.MMF, true
+		return
+	}
+	var take bool
+	if a.Float {
+		take = (a.Kind == Min && src.MMF < dst.MMF) || (a.Kind == Max && src.MMF > dst.MMF)
+	} else {
+		take = (a.Kind == Min && src.MMI < dst.MMI) || (a.Kind == Max && src.MMI > dst.MMI)
+	}
+	if take {
+		dst.MMI, dst.MMF = src.MMI, src.MMF
+	}
+}
+
+// MergePartition folds every src group whose hash falls in radix partition
+// part (the top `bits` hash bits, see types.Radix) into dst. Partitions are
+// disjoint by construction, so concurrent merge work orders over distinct
+// partitions share nothing.
+func (t *Table) MergePartition(src *Table, part uint64, bits uint, aggs []Agg) {
+	for g := 0; g < src.nGroups; g++ {
+		h := src.hashes[g]
+		if types.Radix(h, bits) != part {
+			continue
+		}
+		var b int64
+		if src.twoKeys {
+			b = src.k1[g]
+		}
+		idx := t.upsert(h, src.k0[g], b)
+		for j := range aggs {
+			MergeCell(t.CellAt(idx, j), src.CellAt(int32(g), j), aggs[j])
+		}
+	}
+}

@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"ABL-UOT", "ablation: full UoT spectrum sweep", (*Harness).AblationUoTSweep},
 		{"ABL-BLOCK", "ablation: block-size sweep", (*Harness).AblationBlockSize},
 		{"CONTEND", "batch-kernel contention profile (shard locks, scratch reuse)", (*Harness).ContentionProfile},
+		{"AGG", "aggregation-kernel profile (vectorized vs fallback, merge fan-out)", (*Harness).AggKernelProfile},
 	}
 }
 

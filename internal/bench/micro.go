@@ -306,6 +306,10 @@ func microBenchmarks() []struct {
 		{"probe/vectorized/g=8", buildRows, benchProbe(8, true)},
 		{"expr/filterblock/alloc", 0, benchFilterBlock(false)},
 		{"expr/filterblock/scratch", 0, benchFilterBlock(true)},
+		{"agg/group/reference/g=1", buildRows, benchAgg(1, false)},
+		{"agg/group/vectorized/g=1", buildRows, benchAgg(1, true)},
+		{"agg/group/reference/g=8", buildRows, benchAgg(8, false)},
+		{"agg/group/vectorized/g=8", buildRows, benchAgg(8, true)},
 	}
 }
 
@@ -348,6 +352,8 @@ func RunMicro() *MicroReport {
 	speedup("bloom_batch_speedup_g8", "bloom/add/mutex/g=8", "bloom/add/atomic-batch/g=8")
 	speedup("probe_vectorized_speedup_g8", "probe/row/g=8", "probe/vectorized/g=8")
 	speedup("filterblock_scratch_speedup", "expr/filterblock/alloc", "expr/filterblock/scratch")
+	speedup("agg_vectorized_speedup_g1", "agg/group/reference/g=1", "agg/group/vectorized/g=1")
+	speedup("agg_vectorized_speedup_g8", "agg/group/reference/g=8", "agg/group/vectorized/g=8")
 	return rep
 }
 

@@ -15,6 +15,10 @@ func BenchmarkMicroProbeRowG8(b *testing.B)    { benchProbe(8, false)(b) }
 func BenchmarkMicroProbeVecG8(b *testing.B)    { benchProbe(8, true)(b) }
 func BenchmarkMicroFilterAlloc(b *testing.B)   { benchFilterBlock(false)(b) }
 func BenchmarkMicroFilterScratch(b *testing.B) { benchFilterBlock(true)(b) }
+func BenchmarkMicroAggRefG1(b *testing.B)      { benchAgg(1, false)(b) }
+func BenchmarkMicroAggVecG1(b *testing.B)      { benchAgg(1, true)(b) }
+func BenchmarkMicroAggRefG8(b *testing.B)      { benchAgg(8, false)(b) }
+func BenchmarkMicroAggVecG8(b *testing.B)      { benchAgg(8, true)(b) }
 
 // TestMicroReportSmoke runs one tiny pass of the report plumbing (not the
 // full auto-scaled suite) to keep the JSON artifact path covered.

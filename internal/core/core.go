@@ -77,6 +77,20 @@ type Output struct {
 	// ScratchHits counts scratch-buffer pool hits: work orders that reused
 	// a previous work order's buffers instead of allocating fresh ones.
 	ScratchHits int64
+
+	// AggPartials counts thread-local partial aggregation tables created by
+	// the work order (free-list misses; the steady state reuses partials
+	// across blocks, so totals approach the worker count).
+	AggPartials int64
+	// AggMergeFanout counts radix-partition merge work orders: the
+	// parallelism of the aggregation merge that replaced the global-mutex
+	// merge.
+	AggMergeFanout int64
+	// AggFastRows counts rows aggregated through the vectorized fixed-width
+	// path; AggFallbackRows counts rows through the reference map path
+	// (mixed-type keys, CountDistinct, char min/max).
+	AggFastRows     int64
+	AggFallbackRows int64
 }
 
 // WorkOrder is one schedulable unit of operator logic applied to specific

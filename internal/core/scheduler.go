@@ -295,6 +295,11 @@ func (s *sched) onComplete(r wres) {
 			ShardLocks:  r.out.ShardLocks,
 			BatchedRows: r.out.BatchedRows,
 			ScratchHits: r.out.ScratchHits,
+
+			AggPartials:     r.out.AggPartials,
+			AggMergeFanout:  r.out.AggMergeFanout,
+			AggFastRows:     r.out.AggFastRows,
+			AggFallbackRows: r.out.AggFallbackRows,
 		})
 	}
 	// Release consumed intermediate blocks.

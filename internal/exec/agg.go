@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/aggtable"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/storage"
@@ -37,12 +38,33 @@ type AggSpec struct {
 	Name string
 }
 
-// AggOp is a hash aggregation operator. Work orders aggregate their input
-// block into a thread-local table and merge it into the shared table at the
-// end (so probe-style contention stays on the storage pool, not here); a
-// single final work order emits the result blocks. With no group-by
-// expressions the operator is a scalar aggregate and can feed a scalar
-// parameter slot.
+// aggParts is the radix merge fan-out: Final issues one merge work order per
+// partition of the group-hash space (top aggPartBits hash bits), so partial
+// tables merge in parallel with no shared lock.
+const (
+	aggPartBits = 4
+	aggParts    = 1 << aggPartBits
+)
+
+// AggOp is a hash aggregation operator with two execution paths.
+//
+// The vectorized fast path handles the common TPC-H/SSB shape: at most two
+// int64/date group keys, aggregates over numeric arguments (no
+// CountDistinct, no char min/max). Work orders gather the key columns
+// (storage.Block.GatherInt64/GatherDate), hash them in one vectorized pass
+// (types.HashPairVec), and accumulate into a thread-local open-addressing
+// aggtable.Table — no string keys, no per-row Datum boxing. Column-ref-only
+// aggregate arguments accumulate through columnar kernels over gathered
+// vectors; computed arguments fall back to per-row Eval but still write
+// fixed-width cells. Partial tables persist across work orders on a
+// free-list, and Final fans out one merge work order per radix partition of
+// the hash space, so the merge parallelizes across the scheduler's workers
+// instead of serializing on an operator mutex.
+//
+// The reference map path (per-row Eval, serialized group keys, one shared
+// map behind a mutex) is retained for mixed-type keys, CountDistinct, char
+// min/max, and as the correctness oracle the equivalence tests compare
+// against.
 type AggOp struct {
 	core.Base
 	self     core.OpID
@@ -52,11 +74,51 @@ type AggOp struct {
 	out      *storage.Schema
 	readCols []int
 
+	// Reference-path state.
 	mu        sync.Mutex
 	groups    map[string]*aggGroup
-	memBytes  int64 // atomic: approximate live bytes of the aggregation table
+	memBytes  int64 // atomic: approximate live bytes of the aggregation table(s)
 	scalarVal types.Datum
 	hasScalar bool
+
+	// Fast-path plan: filled by initFastPath when the operator qualifies.
+	fast      bool
+	keyCols   []int
+	keyIsDate []bool
+	fAggs     []fastAgg
+
+	// Fast-path runtime state: the free-list of thread-local partials. pall
+	// tracks every partial ever created (for the merge); pfree holds the
+	// ones not currently owned by a running work order.
+	pmu   sync.Mutex
+	pfree []*aggPartial
+	pall  []*aggPartial
+}
+
+// fastAgg is the fast path's per-aggregate plan: the aggtable accumulator
+// descriptor plus how the argument is loaded (columnar gather of col, or
+// per-row Eval of arg; col < 0 and arg == nil for COUNT).
+type fastAgg struct {
+	desc      aggtable.Agg
+	col       int
+	colIsDate bool
+	arg       expr.Expr
+}
+
+// aggPartial is one thread-local partial aggregation state plus its reusable
+// scratch vectors. A partial is owned by at most one work order at a time
+// (free-list discipline), accumulates across all blocks it sees, and is
+// merged once by the Final merge work orders — there is no per-block merge.
+type aggPartial struct {
+	tab       *aggtable.Table // grouped fast path
+	cells     []aggtable.Cell // scalar fast path (no group keys)
+	k0        []int64
+	k1        []int64
+	hashes    []uint64
+	groupIdx  []int32
+	argI      []int64
+	argF      []float64
+	lastBytes int64
 }
 
 type aggGroup struct {
@@ -83,6 +145,10 @@ type AggOpSpec struct {
 	GroupByNames []string
 	// Aggs are the aggregates to compute.
 	Aggs []AggSpec
+	// ForceReference disables the vectorized fast path, keeping the
+	// row-at-a-time map path (the equivalence tests' oracle and the micro
+	// benchmarks' baseline).
+	ForceReference bool
 }
 
 // NewAgg builds an aggregation operator.
@@ -112,8 +178,69 @@ func NewAgg(spec AggOpSpec) *AggOp {
 		}
 	}
 	op.readCols = expr.PrimaryCols(all...)
+	if !spec.ForceReference {
+		op.initFastPath()
+	}
 	return op
 }
+
+// initFastPath decides fast-path eligibility and compiles the per-key and
+// per-aggregate plans. Requirements: ≤2 group keys, every key a plain
+// int64/date column reference, no CountDistinct, no char-typed aggregate
+// arguments.
+func (o *AggOp) initFastPath() {
+	if len(o.groupBy) > 2 {
+		return
+	}
+	keyCols := make([]int, 0, len(o.groupBy))
+	keyIsDate := make([]bool, 0, len(o.groupBy))
+	for _, g := range o.groupBy {
+		c, ok := expr.AsPrimaryColRef(g)
+		if !ok || (c.Ty != types.Int64 && c.Ty != types.Date) {
+			return
+		}
+		keyCols = append(keyCols, c.Col)
+		keyIsDate = append(keyIsDate, c.Ty == types.Date)
+	}
+	fAggs := make([]fastAgg, 0, len(o.aggs))
+	for _, a := range o.aggs {
+		if a.Func == CountDistinct {
+			return
+		}
+		if a.Arg != nil && a.Arg.Type() == types.Char {
+			return
+		}
+		fa := fastAgg{col: -1}
+		switch a.Func {
+		case Sum:
+			fa.desc.Kind = aggtable.Sum
+		case Count:
+			fa.desc.Kind = aggtable.Count
+		case Avg:
+			fa.desc.Kind = aggtable.Avg
+		case Min:
+			fa.desc.Kind = aggtable.Min
+		case Max:
+			fa.desc.Kind = aggtable.Max
+		}
+		if a.Func != Count && a.Arg != nil {
+			fa.desc.Float = a.Arg.Type() == types.Float64
+			if c, ok := expr.AsPrimaryColRef(a.Arg); ok {
+				fa.col = c.Col
+				fa.colIsDate = c.Ty == types.Date
+			} else {
+				fa.arg = a.Arg
+			}
+		}
+		fAggs = append(fAggs, fa)
+	}
+	o.keyCols, o.keyIsDate, o.fAggs = keyCols, keyIsDate, fAggs
+	o.fast = true
+}
+
+// FastPath reports whether the vectorized path is active (for tests and the
+// bench harness).
+func (o *AggOp) FastPath() bool { return o.fast }
 
 func aggType(a AggSpec) types.TypeID {
 	switch a.Func {
@@ -161,9 +288,21 @@ func (o *AggOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.Wor
 	return wos
 }
 
-// Final implements core.Operator: a single work order emits the merged
-// groups.
+// Final implements core.Operator. On the fast path with group keys it fans
+// out one merge work order per radix partition, so merging partial tables
+// parallelizes across workers; otherwise a single work order emits the
+// merged groups.
 func (o *AggOp) Final(*core.ExecCtx) []core.WorkOrder {
+	if o.fast {
+		if len(o.groupBy) == 0 {
+			return []core.WorkOrder{&aggScalarFinalWO{op: o}}
+		}
+		wos := make([]core.WorkOrder, aggParts)
+		for p := 0; p < aggParts; p++ {
+			wos[p] = &aggMergeWO{op: o, part: uint64(p)}
+		}
+		return wos
+	}
 	return []core.WorkOrder{&aggFinalWO{op: o}}
 }
 
@@ -181,6 +320,31 @@ func (o *AggOp) Cleanup(ctx *core.ExecCtx) {
 // MemBytes returns the approximate aggregation-table footprint.
 func (o *AggOp) MemBytes() int64 { return atomic.LoadInt64(&o.memBytes) }
 
+// getPartial hands out a free partial, creating one if none is available.
+// One free-list lock acquisition per block, amortized like PR1's shard
+// locks.
+func (o *AggOp) getPartial(out *core.Output) *aggPartial {
+	o.pmu.Lock()
+	if n := len(o.pfree); n > 0 {
+		p := o.pfree[n-1]
+		o.pfree = o.pfree[:n-1]
+		o.pmu.Unlock()
+		out.ScratchHits++
+		return p
+	}
+	p := &aggPartial{}
+	o.pall = append(o.pall, p)
+	o.pmu.Unlock()
+	out.AggPartials++
+	return p
+}
+
+func (o *AggOp) putPartial(p *aggPartial) {
+	o.pmu.Lock()
+	o.pfree = append(o.pfree, p)
+	o.pmu.Unlock()
+}
+
 type aggWO struct {
 	op    *AggOp
 	block *storage.Block
@@ -196,14 +360,151 @@ func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	if ctx.Sim != nil {
 		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
 	}
+	switch {
+	case o.fast && len(o.keyCols) > 0:
+		o.runFast(ctx, b, out)
+	case o.fast:
+		o.runScalarFast(ctx, b, out)
+	default:
+		o.runRef(ctx, b, out)
+	}
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.RandomProbes(int64(n), atomic.LoadInt64(&o.memBytes)+1)
+	}
+}
 
+// gatherKey loads a group-key or integer-argument column as int64s, widening
+// 4-byte date columns.
+func gatherKey(b *storage.Block, col int, isDate bool, dst []int64) []int64 {
+	if isDate {
+		return b.GatherDate(col, dst)
+	}
+	return b.GatherInt64(col, dst)
+}
+
+// runFast is the vectorized grouped path: gather + hash the key columns once
+// per block, map rows to dense group indexes in the thread-local partial
+// table, then fold each aggregate column with a columnar kernel.
+func (o *AggOp) runFast(ctx *core.ExecCtx, b *storage.Block, out *core.Output) {
+	n := b.NumRows()
+	if n == 0 {
+		return
+	}
+	p := o.getPartial(out)
+	p.k0 = gatherKey(b, o.keyCols[0], o.keyIsDate[0], p.k0)
+	var k1 []int64
+	if len(o.keyCols) == 2 {
+		p.k1 = gatherKey(b, o.keyCols[1], o.keyIsDate[1], p.k1)
+		k1 = p.k1
+	}
+	p.hashes = types.HashPairVec(p.k0, k1, p.hashes)
+	if p.tab == nil {
+		p.tab = aggtable.New(len(o.aggs), len(o.keyCols) == 2, 256)
+	}
+	p.groupIdx = p.tab.UpsertBlock(p.k0, k1, p.hashes, p.groupIdx)
+	for j, fa := range o.fAggs {
+		switch {
+		case fa.desc.Kind == aggtable.Count:
+			p.tab.AccumCount(j, p.groupIdx)
+		case fa.col >= 0 && !fa.desc.Float:
+			p.argI = gatherKey(b, fa.col, fa.colIsDate, p.argI)
+			p.tab.AccumInt(j, fa.desc, p.groupIdx, p.argI)
+		case fa.col >= 0:
+			p.argF = b.GatherFloat64(fa.col, p.argF)
+			p.tab.AccumFloat(j, fa.desc, p.groupIdx, p.argF)
+		default: // computed argument: per-row Eval into fixed-width cells
+			ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+			for r := 0; r < n; r++ {
+				ec.Row = r
+				v := fa.arg.Eval(&ec)
+				c := p.tab.CellAt(p.groupIdx[r], j)
+				if fa.desc.Float {
+					aggtable.UpdateFloat(c, fa.desc, v.F)
+				} else {
+					aggtable.UpdateInt(c, fa.desc, v.I)
+				}
+			}
+		}
+	}
+	o.accountGrowth(ctx, p, p.tab.Bytes())
+	o.putPartial(p)
+	out.AggFastRows += int64(n)
+	out.BatchedRows += int64(n)
+}
+
+// runScalarFast is the vectorized scalar path (no group keys): one cell row
+// per partial, columnar folds, no hash table at all.
+func (o *AggOp) runScalarFast(ctx *core.ExecCtx, b *storage.Block, out *core.Output) {
+	n := b.NumRows()
+	if n == 0 {
+		return
+	}
+	p := o.getPartial(out)
+	if p.cells == nil {
+		p.cells = make([]aggtable.Cell, len(o.aggs))
+		o.accountGrowth(ctx, p, int64(len(o.aggs))*64)
+	}
+	for j, fa := range o.fAggs {
+		c := &p.cells[j]
+		switch {
+		case fa.desc.Kind == aggtable.Count:
+			c.Count += int64(n)
+		case fa.col >= 0 && !fa.desc.Float:
+			p.argI = gatherKey(b, fa.col, fa.colIsDate, p.argI)
+			for _, v := range p.argI {
+				aggtable.UpdateInt(c, fa.desc, v)
+			}
+		case fa.col >= 0:
+			p.argF = b.GatherFloat64(fa.col, p.argF)
+			for _, v := range p.argF {
+				aggtable.UpdateFloat(c, fa.desc, v)
+			}
+		default:
+			ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
+			for r := 0; r < n; r++ {
+				ec.Row = r
+				v := fa.arg.Eval(&ec)
+				if fa.desc.Float {
+					aggtable.UpdateFloat(c, fa.desc, v.F)
+				} else {
+					aggtable.UpdateInt(c, fa.desc, v.I)
+				}
+			}
+		}
+	}
+	o.putPartial(p)
+	out.AggFastRows += int64(n)
+	out.BatchedRows += int64(n)
+}
+
+// accountGrowth records a partial's footprint growth in the operator gauge
+// and the run's hash-table memory class.
+func (o *AggOp) accountGrowth(ctx *core.ExecCtx, p *aggPartial, nowBytes int64) {
+	d := nowBytes - p.lastBytes
+	if d == 0 {
+		return
+	}
+	p.lastBytes = nowBytes
+	atomic.AddInt64(&o.memBytes, d)
+	if ctx.Run != nil {
+		ctx.Run.HashTables.Add(d)
+	}
+}
+
+// runRef is the retained row-at-a-time reference path: per-row Eval into a
+// local map keyed by serialized group keys, merged into the shared map under
+// the operator mutex. The group-key Datum slice is hoisted out of the row
+// loop and CountDistinct serializes into a reusable scratch buffer, so the
+// per-row allocations are the map entries themselves.
+func (o *AggOp) runRef(ctx *core.ExecCtx, b *storage.Block, out *core.Output) {
+	n := b.NumRows()
 	local := make(map[string]*aggGroup)
 	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
-	var keyBuf []byte
+	var keyBuf, distBuf []byte
+	keys := make([]types.Datum, len(o.groupBy))
 	for r := 0; r < n; r++ {
 		ec.Row = r
 		keyBuf = keyBuf[:0]
-		keys := make([]types.Datum, len(o.groupBy))
 		for i, g := range o.groupBy {
 			keys[i] = g.Eval(&ec)
 			keyBuf = appendKey(keyBuf, keys[i])
@@ -228,7 +529,10 @@ func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
 				if cell.distinct == nil {
 					cell.distinct = make(map[string]struct{})
 				}
-				cell.distinct[string(appendKey(nil, v))] = struct{}{}
+				distBuf = appendKey(distBuf[:0], v)
+				if _, ok := cell.distinct[string(distBuf)]; !ok {
+					cell.distinct[string(distBuf)] = struct{}{}
+				}
 			case Min:
 				if !cell.set || types.Compare(v, cell.minmax) < 0 {
 					cell.minmax = copyDatum(v)
@@ -243,9 +547,17 @@ func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		}
 	}
 	o.merge(ctx, local)
-	if ctx.Sim != nil {
-		out.Sim += ctx.Sim.RandomProbes(int64(n), atomic.LoadInt64(&o.memBytes)+1)
+	out.AggFallbackRows += int64(n)
+}
+
+// datumBytes approximates a datum's in-memory footprint: the struct itself
+// plus any out-of-line char bytes.
+func datumBytes(d types.Datum) int64 {
+	const header = 48 // Datum struct: tag + int64 + float64 + slice header
+	if d.Ty == types.Char {
+		return header + int64(len(d.B))
 	}
+	return header
 }
 
 func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
@@ -256,6 +568,14 @@ func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
 		if tgt == nil {
 			o.groups[k] = g
 			grew += int64(len(k)) + int64(len(g.acc))*48 + 48
+			for i := range g.keys {
+				grew += datumBytes(g.keys[i])
+			}
+			for i := range g.acc {
+				if d := g.acc[i].distinct; d != nil {
+					grew += int64(len(d)) * 24
+				}
+			}
 			continue
 		}
 		for i := range g.acc {
@@ -266,11 +586,13 @@ func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
 			if src.distinct != nil {
 				if dst.distinct == nil {
 					dst.distinct = src.distinct
+					grew += int64(len(src.distinct)) * 24
 				} else {
+					before := len(dst.distinct)
 					for k := range src.distinct {
 						dst.distinct[k] = struct{}{}
 					}
-					grew += int64(len(src.distinct)) * 24
+					grew += int64(len(dst.distinct)-before) * 24
 				}
 			}
 			if src.set {
@@ -289,6 +611,139 @@ func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
 		if ctx.Run != nil {
 			ctx.Run.HashTables.Add(grew)
 		}
+	}
+}
+
+// aggMergeWO merges one radix partition of every partial table and emits its
+// groups. Partitions are disjoint, so the scheduler runs the aggParts merge
+// work orders concurrently with no locking.
+type aggMergeWO struct {
+	op   *AggOp
+	part uint64
+}
+
+func (w *aggMergeWO) Inputs() []*storage.Block { return nil }
+
+func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	out.AggMergeFanout++
+	var tabs []*aggtable.Table
+	var groupsHint int
+	for _, p := range o.pall {
+		if p.tab != nil && p.tab.Len() > 0 {
+			tabs = append(tabs, p.tab)
+			groupsHint += p.tab.Len()
+		}
+	}
+	if len(tabs) == 0 {
+		return
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.out)
+	defer em.Close()
+	descs := make([]aggtable.Agg, len(o.fAggs))
+	for j, fa := range o.fAggs {
+		descs[j] = fa.desc
+	}
+	row := make([]types.Datum, o.out.NumCols())
+	if len(tabs) == 1 {
+		// Single partial (one worker, or one busy one): emit its partition
+		// directly without building a merge table.
+		t := tabs[0]
+		for g := 0; g < t.Len(); g++ {
+			if types.Radix(t.Hash(g), aggPartBits) == w.part {
+				o.emitFastGroup(em, out, t, g, row)
+			}
+		}
+		return
+	}
+	dst := aggtable.New(len(o.aggs), len(o.keyCols) == 2, groupsHint/aggParts+16)
+	for _, t := range tabs {
+		dst.MergePartition(t, w.part, aggPartBits, descs)
+	}
+	for g := 0; g < dst.Len(); g++ {
+		o.emitFastGroup(em, out, dst, g, row)
+	}
+}
+
+// emitFastGroup materializes one merged group as an output row into the
+// caller's reused row buffer.
+func (o *AggOp) emitFastGroup(em *core.Emitter, out *core.Output, t *aggtable.Table, g int, row []types.Datum) {
+	k0, k1 := t.Key(g)
+	row[0] = o.keyDatum(0, k0)
+	nk := 1
+	if len(o.keyCols) == 2 {
+		row[1] = o.keyDatum(1, k1)
+		nk = 2
+	}
+	for j := range o.aggs {
+		row[nk+j] = finishFastCell(o.aggs[j], t.CellAt(int32(g), j))
+	}
+	em.AppendRow(row...)
+	out.RowsIn++
+}
+
+// keyDatum rebuilds group key i from its widened int64 representation.
+func (o *AggOp) keyDatum(i int, k int64) types.Datum {
+	if o.keyIsDate[i] {
+		return types.NewDate(int32(k))
+	}
+	return types.NewInt64(k)
+}
+
+// aggScalarFinalWO merges the scalar partials' cells and emits the single
+// result row (SQL: a scalar aggregate over empty input still yields one
+// row).
+type aggScalarFinalWO struct{ op *AggOp }
+
+func (w *aggScalarFinalWO) Inputs() []*storage.Block { return nil }
+
+func (w *aggScalarFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
+	o := w.op
+	cells := make([]aggtable.Cell, len(o.aggs))
+	for _, p := range o.pall {
+		if p.cells == nil {
+			continue
+		}
+		for j := range cells {
+			aggtable.MergeCell(&cells[j], &p.cells[j], o.fAggs[j].desc)
+		}
+	}
+	em := core.NewEmitter(ctx, out, o.self, o.out)
+	defer em.Close()
+	row := make([]types.Datum, len(o.aggs))
+	for j := range o.aggs {
+		row[j] = finishFastCell(o.aggs[j], &cells[j])
+	}
+	em.AppendRow(row...)
+	out.RowsIn++
+	o.scalarVal = row[0]
+	o.hasScalar = true
+}
+
+// finishFastCell converts a fixed-width accumulator into the result datum,
+// mirroring finishCell on the reference path.
+func finishFastCell(a AggSpec, c *aggtable.Cell) types.Datum {
+	switch a.Func {
+	case Count:
+		return types.NewInt64(c.Count)
+	case Avg:
+		if c.Count == 0 {
+			return types.NewFloat64(0)
+		}
+		return types.NewFloat64(c.SumF / float64(c.Count))
+	case Sum:
+		if a.Arg.Type() == types.Int64 {
+			return types.NewInt64(c.SumI)
+		}
+		return types.NewFloat64(c.SumF)
+	default: // Min, Max
+		if !c.Set {
+			return types.Datum{Ty: a.Arg.Type()}
+		}
+		if a.Arg.Type() == types.Float64 {
+			return types.NewFloat64(c.MMF)
+		}
+		return types.Datum{Ty: a.Arg.Type(), I: c.MMI}
 	}
 }
 

@@ -1,0 +1,431 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// aggVecSchema is the fixture for the vectorized-aggregation equivalence
+// tests: two int group keys, a date key, a float measure (dyadic rationals so
+// sums are exact under any accumulation order), and an int measure.
+func aggVecSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "g1", Type: types.Int64},
+		storage.Column{Name: "g2", Type: types.Int64},
+		storage.Column{Name: "d", Type: types.Date},
+		storage.Column{Name: "v", Type: types.Float64},
+		storage.Column{Name: "i", Type: types.Int64},
+	)
+}
+
+func aggVecBlocks(s *storage.Schema, format storage.Format, nBlocks, rowsPer int, seed int64) []*storage.Block {
+	rng := rand.New(rand.NewSource(seed))
+	blocks := make([]*storage.Block, nBlocks)
+	for bi := range blocks {
+		b := storage.NewBlock(s, format, rowsPer*s.RowWidth()+256)
+		for r := 0; r < rowsPer; r++ {
+			b.AppendRow(
+				types.NewInt64(int64(rng.Intn(37))),
+				types.NewInt64(int64(rng.Intn(5))),
+				types.NewDate(int32(10000+rng.Intn(40))),
+				types.NewFloat64(float64(rng.Intn(2048)-1024)/8),
+				types.NewInt64(int64(rng.Intn(1000)-500)),
+			)
+		}
+		blocks[bi] = b
+	}
+	return blocks
+}
+
+func eqDatum(a, b types.Datum) bool {
+	return a.Ty == b.Ty && a.I == b.I && a.F == b.F && string(a.Bytes()) == string(b.Bytes())
+}
+
+func sortByKeys(rows [][]types.Datum, nKeys int) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := 0; k < nKeys; k++ {
+			if c := types.Compare(rows[i][k], rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// requireSameRows compares two result sets after sorting by the group keys.
+func requireSameRows(t *testing.T, got, want [][]types.Datum, nKeys int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: fast %d, reference %d", len(got), len(want))
+	}
+	sortByKeys(got, nKeys)
+	sortByKeys(want, nKeys)
+	for r := range got {
+		for c := range got[r] {
+			if !eqDatum(got[r][c], want[r][c]) {
+				t.Fatalf("row %d col %d: fast %+v, reference %+v\nfast row: %v\nref row:  %v",
+					r, c, got[r][c], want[r][c], got[r], want[r])
+			}
+		}
+	}
+}
+
+// runAggBoth builds a fast and a ForceReference operator from the same spec,
+// runs both over the same blocks, and returns (fastRows, refRows).
+func runAggBoth(t *testing.T, spec AggOpSpec, blocks []*storage.Block) ([][]types.Datum, [][]types.Datum) {
+	t.Helper()
+	fast := NewAgg(spec)
+	fast.setID(10)
+	if !fast.FastPath() {
+		t.Fatal("operator did not qualify for the vectorized path")
+	}
+	refSpec := spec
+	refSpec.ForceReference = true
+	ref := NewAgg(refSpec)
+	ref.setID(11)
+	if ref.FastPath() {
+		t.Fatal("ForceReference did not disable the vectorized path")
+	}
+	fastRows := allRows(runOp(t, execCtx(), fast, 10, blocks...))
+	refRows := allRows(runOp(t, execCtx(), ref, 11, blocks...))
+	return fastRows, refRows
+}
+
+func allAggSpecs(s *storage.Schema) []AggSpec {
+	return []AggSpec{
+		{Func: Count, Name: "cnt"},
+		{Func: Count, Arg: expr.C(s, "i"), Name: "cnt_i"},
+		{Func: Sum, Arg: expr.C(s, "i"), Name: "sum_i"},
+		{Func: Sum, Arg: expr.C(s, "v"), Name: "sum_v"},
+		{Func: Avg, Arg: expr.C(s, "i"), Name: "avg_i"},
+		{Func: Avg, Arg: expr.C(s, "v"), Name: "avg_v"},
+		{Func: Min, Arg: expr.C(s, "i"), Name: "min_i"},
+		{Func: Max, Arg: expr.C(s, "i"), Name: "max_i"},
+		{Func: Min, Arg: expr.C(s, "v"), Name: "min_v"},
+		{Func: Max, Arg: expr.C(s, "v"), Name: "max_v"},
+		{Func: Min, Arg: expr.C(s, "d"), Name: "min_d"},
+		{Func: Max, Arg: expr.C(s, "d"), Name: "max_d"},
+	}
+}
+
+func TestAggVecEquivalenceAllFuncs(t *testing.T) {
+	s := aggVecSchema()
+	for _, format := range []storage.Format{storage.ColumnStore, storage.RowStore} {
+		blocks := aggVecBlocks(s, format, 8, 300, 42)
+		fast, ref := runAggBoth(t, AggOpSpec{
+			Name: "agg", InputSchema: s,
+			GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+			Aggs: allAggSpecs(s),
+		}, blocks)
+		requireSameRows(t, fast, ref, 1)
+	}
+}
+
+func TestAggVecEquivalenceTwoKeys(t *testing.T) {
+	s := aggVecSchema()
+	blocks := aggVecBlocks(s, storage.ColumnStore, 6, 257, 7)
+	fast, ref := runAggBoth(t, AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy:      []expr.Expr{expr.C(s, "g1"), expr.C(s, "g2")},
+		GroupByNames: []string{"g1", "g2"},
+		Aggs: []AggSpec{
+			{Func: Sum, Arg: expr.C(s, "v"), Name: "s"},
+			{Func: Count, Name: "c"},
+			{Func: Min, Arg: expr.C(s, "i"), Name: "mn"},
+		},
+	}, blocks)
+	requireSameRows(t, fast, ref, 2)
+}
+
+func TestAggVecEquivalenceDateKey(t *testing.T) {
+	s := aggVecSchema()
+	blocks := aggVecBlocks(s, storage.ColumnStore, 4, 200, 13)
+	fast, ref := runAggBoth(t, AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy:      []expr.Expr{expr.C(s, "d"), expr.C(s, "g2")},
+		GroupByNames: []string{"d", "g2"},
+		Aggs: []AggSpec{
+			{Func: Sum, Arg: expr.C(s, "v"), Name: "s"},
+			{Func: Max, Arg: expr.C(s, "d"), Name: "mx"},
+		},
+	}, blocks)
+	requireSameRows(t, fast, ref, 2)
+	// Date keys must come back typed as dates.
+	if len(fast) == 0 || fast[0][0].Ty != types.Date {
+		t.Fatalf("date group key lost its type: %+v", fast[0][0])
+	}
+}
+
+func TestAggVecEquivalenceComputedArg(t *testing.T) {
+	// Computed (non-ColRef) arguments take the per-row Eval branch of the
+	// fast path but still accumulate into fixed-width cells.
+	s := aggVecSchema()
+	blocks := aggVecBlocks(s, storage.ColumnStore, 4, 128, 21)
+	fast, ref := runAggBoth(t, AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+		Aggs: []AggSpec{
+			{Func: Sum, Arg: expr.MulE(expr.C(s, "v"), expr.Float(2)), Name: "s2"},
+			{Func: Min, Arg: expr.MulE(expr.C(s, "v"), expr.Float(4)), Name: "mn4"},
+		},
+	}, blocks)
+	requireSameRows(t, fast, ref, 1)
+}
+
+func TestAggVecEmptyInputGrouped(t *testing.T) {
+	s := aggVecSchema()
+	fast, ref := runAggBoth(t, AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+		Aggs:    []AggSpec{{Func: Count, Name: "c"}},
+	}, nil)
+	if len(fast) != 0 || len(ref) != 0 {
+		t.Fatalf("grouped aggregation over empty input emitted rows: fast %d, ref %d", len(fast), len(ref))
+	}
+}
+
+func TestAggVecScalarEquivalence(t *testing.T) {
+	s := aggVecSchema()
+	spec := AggOpSpec{
+		Name: "agg", InputSchema: s,
+		Aggs: []AggSpec{
+			{Func: Avg, Arg: expr.C(s, "v"), Name: "a"},
+			{Func: Sum, Arg: expr.C(s, "i"), Name: "s"},
+			{Func: Min, Arg: expr.C(s, "v"), Name: "mn"},
+			{Func: Count, Name: "c"},
+		},
+	}
+	blocks := aggVecBlocks(s, storage.ColumnStore, 5, 111, 3)
+	fast, ref := runAggBoth(t, spec, blocks)
+	requireSameRows(t, fast, ref, 0)
+
+	// ScalarValue must match between paths.
+	f := NewAgg(spec)
+	f.setID(12)
+	runOp(t, execCtx(), f, 12, blocks...)
+	refSpec := spec
+	refSpec.ForceReference = true
+	r := NewAgg(refSpec)
+	r.setID(13)
+	runOp(t, execCtx(), r, 13, blocks...)
+	fv, fok := f.ScalarValue()
+	rv, rok := r.ScalarValue()
+	if !fok || !rok || !eqDatum(fv, rv) {
+		t.Fatalf("scalar values differ: fast %v(%v), reference %v(%v)", fv, fok, rv, rok)
+	}
+}
+
+func TestAggVecScalarEmptyInput(t *testing.T) {
+	// A scalar aggregate over empty input yields exactly one zero row on
+	// both paths (min/max come back as unset typed datums).
+	s := aggVecSchema()
+	fast, ref := runAggBoth(t, AggOpSpec{
+		Name: "agg", InputSchema: s,
+		Aggs: []AggSpec{
+			{Func: Count, Name: "c"},
+			{Func: Sum, Arg: expr.C(s, "v"), Name: "s"},
+			{Func: Min, Arg: expr.C(s, "i"), Name: "mn"},
+		},
+	}, nil)
+	if len(fast) != 1 || len(ref) != 1 {
+		t.Fatalf("empty scalar agg rows: fast %d, ref %d", len(fast), len(ref))
+	}
+	requireSameRows(t, fast, ref, 0)
+}
+
+func TestAggVecFallbackTriggers(t *testing.T) {
+	s := aggVecSchema()
+	cs := storage.NewSchema(
+		storage.Column{Name: "g1", Type: types.Int64},
+		storage.Column{Name: "tag", Type: types.Char, Width: 4},
+		storage.Column{Name: "v", Type: types.Float64},
+	)
+	cases := []struct {
+		name string
+		spec AggOpSpec
+	}{
+		{"three keys", AggOpSpec{
+			Name: "agg", InputSchema: s,
+			GroupBy:      []expr.Expr{expr.C(s, "g1"), expr.C(s, "g2"), expr.C(s, "d")},
+			GroupByNames: []string{"g1", "g2", "d"},
+			Aggs:         []AggSpec{{Func: Count, Name: "c"}},
+		}},
+		{"char key", AggOpSpec{
+			Name: "agg", InputSchema: cs,
+			GroupBy: []expr.Expr{expr.C(cs, "tag")}, GroupByNames: []string{"tag"},
+			Aggs: []AggSpec{{Func: Count, Name: "c"}},
+		}},
+		{"computed key", AggOpSpec{
+			Name: "agg", InputSchema: s,
+			GroupBy:      []expr.Expr{expr.MulE(expr.C(s, "v"), expr.Float(2))},
+			GroupByNames: []string{"v2"},
+			Aggs:         []AggSpec{{Func: Count, Name: "c"}},
+		}},
+		{"count distinct", AggOpSpec{
+			Name: "agg", InputSchema: s,
+			GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+			Aggs: []AggSpec{{Func: CountDistinct, Arg: expr.C(s, "i"), Name: "cd"}},
+		}},
+		{"char agg arg", AggOpSpec{
+			Name: "agg", InputSchema: cs,
+			GroupBy: []expr.Expr{expr.C(cs, "g1")}, GroupByNames: []string{"g1"},
+			Aggs: []AggSpec{{Func: Min, Arg: expr.C(cs, "tag"), Name: "mn"}},
+		}},
+	}
+	for _, tc := range cases {
+		if NewAgg(tc.spec).FastPath() {
+			t.Errorf("%s: expected the reference fallback, got the fast path", tc.name)
+		}
+	}
+	// Sanity: the eligible shape does qualify.
+	if !NewAgg(AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+		Aggs: []AggSpec{{Func: Sum, Arg: expr.C(s, "v"), Name: "s"}},
+	}).FastPath() {
+		t.Error("eligible spec did not take the fast path")
+	}
+}
+
+// TestAggVecConcurrent runs the vectorized path with many concurrent work
+// orders (run under -race): thread-local partials on the free-list, then the
+// 16 radix merge work orders concurrently, and compares against the
+// sequential reference path.
+func TestAggVecConcurrent(t *testing.T) {
+	s := aggVecSchema()
+	const nBlocks, rowsPer, workers = 32, 256, 8
+	blocks := aggVecBlocks(s, storage.ColumnStore, nBlocks, rowsPer, 99)
+	spec := AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy:      []expr.Expr{expr.C(s, "g1"), expr.C(s, "g2")},
+		GroupByNames: []string{"g1", "g2"},
+		Aggs:         allAggSpecs(s),
+	}
+	op := NewAgg(spec)
+	op.setID(20)
+	if !op.FastPath() {
+		t.Fatal("spec did not qualify for the fast path")
+	}
+	ctx := execCtx()
+	ctx.Workers = workers
+	op.Init(ctx)
+
+	runConcurrent := func(wos []core.WorkOrder) []core.Output {
+		outs := make([]core.Output, len(wos))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, wo := range wos {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, wo core.WorkOrder) {
+				defer wg.Done()
+				wo.Run(ctx, &outs[i])
+				<-sem
+			}(i, wo)
+		}
+		wg.Wait()
+		return outs
+	}
+
+	feedOuts := runConcurrent(op.Feed(ctx, 0, blocks))
+	finalOuts := runConcurrent(op.Final(ctx))
+
+	var emitted []*storage.Block
+	var fastRows, partials, fanout int64
+	for _, o := range append(feedOuts, finalOuts...) {
+		emitted = append(emitted, o.Blocks...)
+		fastRows += o.AggFastRows
+		partials += o.AggPartials
+		fanout += o.AggMergeFanout
+	}
+	emitted = append(emitted, ctx.Pool.TakePartials(20)...)
+
+	if fastRows != nBlocks*rowsPer {
+		t.Errorf("AggFastRows = %d, want %d", fastRows, nBlocks*rowsPer)
+	}
+	if partials < 1 || partials > workers {
+		t.Errorf("AggPartials = %d, want 1..%d (free-list reuse)", partials, workers)
+	}
+	if fanout != aggParts {
+		t.Errorf("AggMergeFanout = %d, want %d", fanout, aggParts)
+	}
+	if op.MemBytes() <= 0 {
+		t.Error("fast path did not account partial-table memory")
+	}
+
+	refSpec := spec
+	refSpec.ForceReference = true
+	ref := NewAgg(refSpec)
+	ref.setID(21)
+	refRows := allRows(runOp(t, execCtx(), ref, 21, blocks...))
+	requireSameRows(t, allRows(emitted), refRows, 2)
+
+	// Cleanup must release exactly what was accounted.
+	op.Cleanup(ctx)
+	if live := ctx.Run.HashTables.Live(); live != 0 {
+		t.Errorf("hash-table gauge after Cleanup = %d, want 0", live)
+	}
+}
+
+func TestAggRefFallbackCounters(t *testing.T) {
+	s := aggVecSchema()
+	blocks := aggVecBlocks(s, storage.ColumnStore, 2, 100, 5)
+	op := NewAgg(AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+		Aggs:           []AggSpec{{Func: Count, Name: "c"}},
+		ForceReference: true,
+	})
+	op.setID(22)
+	ctx := execCtx()
+	op.Init(ctx)
+	var fallback int64
+	for _, wo := range op.Feed(ctx, 0, blocks) {
+		out := &core.Output{}
+		wo.Run(ctx, out)
+		fallback += out.AggFallbackRows
+	}
+	if fallback != 200 {
+		t.Errorf("AggFallbackRows = %d, want 200", fallback)
+	}
+	if op.MemBytes() <= 0 {
+		t.Error("reference path did not account group-map memory")
+	}
+}
+
+// TestAggRefDistinctMemAccounting checks the merge footprint fix: adopted and
+// merged distinct sets must grow the operator gauge.
+func TestAggRefDistinctMemAccounting(t *testing.T) {
+	s := aggVecSchema()
+	mkOp := func() *AggOp {
+		op := NewAgg(AggOpSpec{
+			Name: "agg", InputSchema: s,
+			GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+			Aggs: []AggSpec{{Func: CountDistinct, Arg: expr.C(s, "i"), Name: "cd"}},
+		})
+		op.setID(23)
+		return op
+	}
+	blocks := aggVecBlocks(s, storage.ColumnStore, 4, 250, 17)
+	distinct := mkOp()
+	runOp(t, execCtx(), distinct, 23, blocks...)
+	count := NewAgg(AggOpSpec{
+		Name: "agg", InputSchema: s,
+		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
+		Aggs:           []AggSpec{{Func: Count, Name: "c"}},
+		ForceReference: true,
+	})
+	count.setID(25)
+	runOp(t, execCtx(), count, 25, blocks...)
+	if distinct.MemBytes() <= count.MemBytes() {
+		t.Errorf("distinct sets not accounted: distinct %d <= plain %d",
+			distinct.MemBytes(), count.MemBytes())
+	}
+}

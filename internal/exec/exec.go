@@ -47,8 +47,8 @@ func readBytes(b *storage.Block, cols []int) int64 {
 func colRefsOnly(exprs []expr.Expr) []int {
 	idx := make([]int, len(exprs))
 	for i, e := range exprs {
-		c, ok := e.(*expr.ColRef)
-		if !ok || c.S != expr.Primary {
+		c, ok := expr.AsPrimaryColRef(e)
+		if !ok {
 			return nil
 		}
 		idx[i] = c.Col

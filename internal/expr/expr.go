@@ -76,6 +76,18 @@ func ColIdx(s *storage.Schema, i int) *ColRef {
 	return &ColRef{S: Primary, Col: i, Ty: s.Col(i).Type, Width: s.ColWidth(i), Name: s.Col(i).Name}
 }
 
+// AsPrimaryColRef returns e as a plain Primary-side column reference, if it
+// is one. Operators use this to detect expressions they can satisfy with a
+// direct columnar gather instead of per-row Eval (the select fast-copy path,
+// the aggregation group-key and argument kernels).
+func AsPrimaryColRef(e Expr) (*ColRef, bool) {
+	c, ok := e.(*ColRef)
+	if !ok || c.S != Primary {
+		return nil, false
+	}
+	return c, true
+}
+
 // Type implements Expr.
 func (e *ColRef) Type() types.TypeID { return e.Ty }
 

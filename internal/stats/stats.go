@@ -60,6 +60,12 @@ type WorkOrder struct {
 	ShardLocks  int64 // hash-table shard-lock acquisitions
 	BatchedRows int64 // rows processed by block-granular batch kernels
 	ScratchHits int64 // scratch-buffer pool reuse hits
+
+	// Aggregation-kernel counters (see core.Output).
+	AggPartials     int64 // thread-local partial aggregation tables created
+	AggMergeFanout  int64 // radix-partition merge work orders
+	AggFastRows     int64 // rows through the vectorized fixed-width path
+	AggFallbackRows int64 // rows through the reference map path
 }
 
 // Wall returns the wall-clock duration of the work order.
@@ -78,6 +84,11 @@ type OpTotals struct {
 	ShardLocks  int64
 	BatchedRows int64
 	ScratchHits int64
+
+	AggPartials     int64
+	AggMergeFanout  int64
+	AggFastRows     int64
+	AggFallbackRows int64
 }
 
 // AvgWall returns the mean wall-clock work-order time.
@@ -167,6 +178,10 @@ func (r *Run) PerOp() []OpTotals {
 		t.ShardLocks += w.ShardLocks
 		t.BatchedRows += w.BatchedRows
 		t.ScratchHits += w.ScratchHits
+		t.AggPartials += w.AggPartials
+		t.AggMergeFanout += w.AggMergeFanout
+		t.AggFastRows += w.AggFastRows
+		t.AggFallbackRows += w.AggFallbackRows
 	}
 	out := make([]OpTotals, 0, len(m))
 	for _, t := range m {
@@ -203,6 +218,19 @@ func (r *Run) Contention() (shardLocks, batchedRows, scratchHits int64) {
 		shardLocks += t.ShardLocks
 		batchedRows += t.BatchedRows
 		scratchHits += t.ScratchHits
+	}
+	return
+}
+
+// AggKernels sums the aggregation-kernel counters across all work orders:
+// partial tables created, merge work orders run (the merge fan-out), and
+// rows aggregated through the vectorized vs the reference path.
+func (r *Run) AggKernels() (partials, mergeFanout, fastRows, fallbackRows int64) {
+	for _, t := range r.PerOp() {
+		partials += t.AggPartials
+		mergeFanout += t.AggMergeFanout
+		fastRows += t.AggFastRows
+		fallbackRows += t.AggFallbackRows
 	}
 	return
 }

@@ -241,6 +241,61 @@ func (b *Block) GatherInt64(col int, dst []int64) []int64 {
 	return dst
 }
 
+// GatherDate widens every row of a 4-byte Date column into dst as int64 day
+// counts, reusing dst's backing array when large enough. Together with
+// GatherInt64 this covers the fixed-width group-key types of the vectorized
+// aggregation path (date keys hash and compare as their day count).
+func (b *Block) GatherDate(col int, dst []int64) []int64 {
+	n := b.n
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if b.schema.ColWidth(col) != 4 {
+		panic(fmt.Sprintf("storage: GatherDate on %d-byte column", b.schema.ColWidth(col)))
+	}
+	var off, stride int
+	if b.format == RowStore {
+		off = b.schema.ColOffset(col)
+		stride = b.schema.RowWidth()
+	} else {
+		off = b.colOff[col]
+		stride = 4
+	}
+	data := b.data
+	for r := 0; r < n; r++ {
+		dst[r] = int64(int32(binary.LittleEndian.Uint32(data[off+r*stride:])))
+	}
+	return dst
+}
+
+// GatherFloat64 copies every row of an 8-byte Float64 column into dst,
+// reusing dst's backing array when large enough — the aggregate-argument
+// load of the columnar accumulate kernels.
+func (b *Block) GatherFloat64(col int, dst []float64) []float64 {
+	n := b.n
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if b.schema.ColWidth(col) != 8 {
+		panic(fmt.Sprintf("storage: GatherFloat64 on %d-byte column", b.schema.ColWidth(col)))
+	}
+	var off, stride int
+	if b.format == RowStore {
+		off = b.schema.ColOffset(col)
+		stride = b.schema.RowWidth()
+	} else {
+		off = b.colOff[col]
+		stride = 8
+	}
+	data := b.data
+	for r := 0; r < n; r++ {
+		dst[r] = float64frombits(binary.LittleEndian.Uint64(data[off+r*stride:]))
+	}
+	return dst
+}
+
 // AppendFromMany appends the projection projIdx of the given src rows (in
 // order), stopping when the block fills, and returns how many rows were
 // appended. Column layouts are resolved once per column, not once per cell,

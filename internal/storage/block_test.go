@@ -304,3 +304,66 @@ func TestAppendFromManyMatchesAppendFrom(t *testing.T) {
 		}
 	}
 }
+
+func TestGatherDateWidensMatchesDateAt(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "k", Type: types.Int64},
+		Column{Name: "d", Type: types.Date},
+	)
+	rng := rand.New(rand.NewSource(13))
+	for _, format := range []Format{RowStore, ColumnStore} {
+		b := NewBlock(s, format, 4096)
+		for !b.Full() {
+			// Include negative day counts: the widening must sign-extend.
+			b.AppendRow(types.NewInt64(rng.Int63()), types.NewDate(int32(rng.Uint32())))
+		}
+		var dst []int64
+		dst = b.GatherDate(1, dst)
+		if len(dst) != b.NumRows() {
+			t.Fatalf("%v: gathered %d rows, want %d", format, len(dst), b.NumRows())
+		}
+		for r, v := range dst {
+			if want := int64(b.DateAt(1, r)); v != want {
+				t.Fatalf("%v row %d: got %d want %d", format, r, v, want)
+			}
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: GatherDate on an 8-byte column did not panic", format)
+				}
+			}()
+			b.GatherDate(0, nil)
+		}()
+	}
+}
+
+func TestGatherFloat64MatchesFloat64At(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "d", Type: types.Date},
+		Column{Name: "f", Type: types.Float64},
+	)
+	rng := rand.New(rand.NewSource(17))
+	for _, format := range []Format{RowStore, ColumnStore} {
+		b := NewBlock(s, format, 4096)
+		for !b.Full() {
+			b.AppendRow(types.NewDate(int32(rng.Intn(20000))), types.NewFloat64(rng.NormFloat64()))
+		}
+		var dst []float64
+		dst = b.GatherFloat64(1, dst)
+		if len(dst) != b.NumRows() {
+			t.Fatalf("%v: gathered %d rows, want %d", format, len(dst), b.NumRows())
+		}
+		for r, v := range dst {
+			if want := b.Float64At(1, r); v != want {
+				t.Fatalf("%v row %d: got %v want %v", format, r, v, want)
+			}
+		}
+		// Reuse: a large-enough dst must be reused, not reallocated.
+		before := &dst[:1][0]
+		dst = b.GatherFloat64(1, dst)
+		if &dst[:1][0] != before {
+			t.Errorf("%v: GatherFloat64 reallocated a sufficient dst", format)
+		}
+	}
+}

@@ -58,6 +58,13 @@ func HashPairVec(k0, k1 []int64, dst []uint64) []uint64 {
 	return dst
 }
 
+// Radix returns the radix partition of a hash value: its top `bits` bits.
+// Partition bits are taken from the top of the hash so they are independent
+// of both the hash-table slot index (low bits) and the join shard selector
+// (bits 48..53); the parallel aggregation merge fans out one work order per
+// partition.
+func Radix(h uint64, bits uint) uint64 { return h >> (64 - bits) }
+
 // HashBytes hashes a byte string (FNV-1a folded through Mix64).
 func HashBytes(b []byte) uint64 {
 	const (
