@@ -8,8 +8,9 @@
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
 // SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11, plus CONTEND for
-// the batch-kernel contention profile and AGG for the aggregation-kernel
-// profile).
+// the batch-kernel contention profile, AGG for the aggregation-kernel
+// profile, and CHAOS for the fault-injection robustness check — TPC-H under
+// a seeded fault schedule must match the fault-free results exactly).
 //
 // -micro runs the hot-path micro-benchmark suite instead (row-at-a-time
 // reference paths vs. the block-granular batch and aggregation kernels) and,

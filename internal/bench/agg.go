@@ -98,7 +98,8 @@ func microAggData() ([]*storage.Block, *storage.Schema) {
 func runAggWOs(ctx *core.ExecCtx, wos []core.WorkOrder, g int) {
 	if g <= 1 {
 		for _, wo := range wos {
-			wo.Run(ctx, &core.Output{})
+			out := &core.Output{}
+			out.Finish(wo.Run(ctx, out))
 		}
 		return
 	}
@@ -113,7 +114,8 @@ func runAggWOs(ctx *core.ExecCtx, wos []core.WorkOrder, g int) {
 				if j >= int64(len(wos)) {
 					return
 				}
-				wos[j].Run(ctx, &core.Output{})
+				out := &core.Output{}
+				out.Finish(wos[j].Run(ctx, out))
 			}
 		}()
 	}

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"ABL-BLOCK", "ablation: block-size sweep", (*Harness).AblationBlockSize},
 		{"CONTEND", "batch-kernel contention profile (shard locks, scratch reuse)", (*Harness).ContentionProfile},
 		{"AGG", "aggregation-kernel profile (vectorized vs fallback, merge fan-out)", (*Harness).AggKernelProfile},
+		{"CHAOS", "robustness: seeded fault injection vs fault-free results", (*Harness).Chaos},
 	}
 }
 

@@ -14,9 +14,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/cachesim"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -52,8 +56,55 @@ type ExecCtx struct {
 	// MemoryBudget, if positive, caps live temporary-block bytes softly:
 	// while exceeded, the scheduler stops dispatching block-producing work
 	// orders until in-flight consumers drain (a Section III-C scheduler
-	// policy).
+	// policy). Under sustained pressure the scheduler raises the UoT on the
+	// held producer's out-edges instead of stalling indefinitely.
 	MemoryBudget int64
+
+	// Ctx, if non-nil, cancels the whole run: the scheduler stops
+	// dispatching, drops queued work orders, and emitters abort in-flight
+	// work orders at block-materialization boundaries.
+	Ctx context.Context
+	// Faults, if non-nil, is the deterministic fault injector operators
+	// consult at named sites (see internal/faults).
+	Faults *faults.Injector
+	// MaxAttempts bounds executions of one work order: after a transient
+	// failure the scheduler rolls the attempt back and re-dispatches until
+	// the work order succeeded or ran MaxAttempts times. 0 or 1 disables
+	// retry.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first re-dispatch of a failed
+	// work order; it doubles per attempt. Default 1ms when retry is on.
+	RetryBackoff time.Duration
+	// WODeadline, if positive, bounds each work-order attempt. Enforcement
+	// is cooperative: emitters check the deadline at block-materialization
+	// boundaries and abort the attempt (a transient, retryable failure);
+	// attempts that overrun but complete are recorded as deadline hits and
+	// their results kept.
+	WODeadline time.Duration
+}
+
+// Canceled returns the run-level cancellation error, if the context was
+// canceled, else nil.
+func (c *ExecCtx) Canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.Ctx.Done():
+		return c.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// FaultAt consults the fault injector at a named site; nil without an
+// injector. Call it strictly before mutating shared operator state, so a
+// failed attempt can be re-dispatched without rollback of that state.
+func (c *ExecCtx) FaultAt(site faults.Site) error {
+	if c.Faults == nil {
+		return nil
+	}
+	return c.Faults.At(site)
 }
 
 // Output collects what one work-order execution produced: sealed full output
@@ -91,16 +142,61 @@ type Output struct {
 	// (mixed-type keys, CountDistinct, char min/max).
 	AggFastRows     int64
 	AggFallbackRows int64
+
+	// Demotions counts fast-path → reference-path demotions this work order
+	// triggered (at most one per operator per run).
+	Demotions int64
+
+	// emitters registers every Emitter the work order created, so Finish
+	// can close them on success or roll their blocks back on failure.
+	emitters []*Emitter
+	// deadline, if nonzero, is when the current attempt times out; set by
+	// the worker from ExecCtx.WODeadline and checked at emitter
+	// block-materialization boundaries.
+	deadline time.Time
+}
+
+// Finish completes one work-order attempt's materialization and must be
+// called exactly once after Run, with Run's error. On success every emitter
+// checks its partial block into the pool (what Emitter.Close used to do at
+// the end of each work order); on failure every block the attempt touched is
+// rolled back — fresh blocks are released, resumed partials truncated to
+// their pre-attempt row count — and the output cleared, so a retry (or a
+// concurrent work order of the same operator) never observes the failed
+// attempt's rows. The scheduler calls Finish from the worker goroutine; code
+// that runs work orders by hand (tests, benchmarks) must call it too.
+func (o *Output) Finish(err error) {
+	for _, e := range o.emitters {
+		if err != nil {
+			e.rollback()
+		} else {
+			e.Close()
+		}
+	}
+	o.emitters = nil
+	if err != nil {
+		o.Blocks = nil
+		o.RowsIn = 0
+		o.RowsOut = 0
+	}
 }
 
 // WorkOrder is one schedulable unit of operator logic applied to specific
 // inputs (Section III).
 type WorkOrder interface {
 	// Run executes the work order. It must be safe to run concurrently
-	// with other work orders (of this and other operators).
-	Run(ctx *ExecCtx, out *Output)
+	// with other work orders (of this and other operators). A returned
+	// error fails the attempt; errors classified transient (see
+	// IsTransient) are rolled back and retried up to ExecCtx.MaxAttempts.
+	// The retry contract: a work order must not mutate shared operator
+	// state before a point where it can still fail transiently —
+	// fault-injection sites fire first, and emitter output is rolled back
+	// by Output.Finish.
+	Run(ctx *ExecCtx, out *Output) error
 	// Inputs returns the intermediate blocks this work order consumes, for
-	// reference-counted release; nil for base-table inputs.
+	// reference-counted release; nil for base-table inputs. Inputs are
+	// released only when the work order succeeds (or the run aborts), so a
+	// retried attempt re-reads them.
 	Inputs() []*storage.Block
 }
 
@@ -220,22 +316,44 @@ func (p *Plan) AddScalar(op OpID) int {
 // Emitter materializes an operator's output into temporary blocks via the
 // pool, sealing full blocks into the work order's Output and checking
 // partial blocks back in for the next work order of the same operator.
+//
+// The emitter tracks what the current attempt acquired — the row count of
+// the resumed block at checkout, plus every block it sealed — so a failed
+// attempt can be rolled back block-exactly (see Output.Finish). It is also
+// the work order's cooperative interruption point: each block checkout
+// observes run cancellation, the per-attempt deadline, and the
+// block-materialize fault site.
 type Emitter struct {
-	ctx    *ExecCtx
-	out    *Output
-	owner  int
-	schema *storage.Schema
-	cur    *storage.Block
+	ctx     *ExecCtx
+	out     *Output
+	owner   int
+	schema  *storage.Schema
+	cur     *storage.Block
+	curBase int // rows already in cur when it was checked out
+	sealed  []sealedBlock
 }
 
-// NewEmitter returns an emitter writing blocks of schema for operator owner.
+// sealedBlock remembers a block sealed by this attempt and how many rows it
+// held before the attempt appended to it (nonzero when a resumed partial
+// filled up and sealed).
+type sealedBlock struct {
+	b    *storage.Block
+	base int
+}
+
+// NewEmitter returns an emitter writing blocks of schema for operator owner,
+// registered in out for end-of-attempt finish/rollback.
 func NewEmitter(ctx *ExecCtx, out *Output, owner OpID, schema *storage.Schema) *Emitter {
-	return &Emitter{ctx: ctx, out: out, owner: int(owner), schema: schema}
+	e := &Emitter{ctx: ctx, out: out, owner: int(owner), schema: schema}
+	out.emitters = append(out.emitters, e)
+	return e
 }
 
 func (e *Emitter) ensure() *storage.Block {
 	if e.cur == nil {
+		e.interrupt()
 		e.cur = e.ctx.Pool.CheckOut(e.owner, e.schema, e.ctx.TempFormat, e.ctx.TempBlockBytes)
+		e.curBase = e.cur.NumRows()
 		if e.ctx.Run != nil {
 			e.ctx.Run.AddCheckout()
 		}
@@ -243,9 +361,27 @@ func (e *Emitter) ensure() *storage.Block {
 	return e.cur
 }
 
+// interrupt aborts the work order at a block-materialization boundary when
+// the run is canceled, the attempt's deadline has passed, or the injector
+// fires at the block-materialize site. It unwinds through operator code via
+// a typed panic that runSafely converts back into the underlying error; the
+// attempt's blocks are then rolled back by Output.Finish.
+func (e *Emitter) interrupt() {
+	if err := e.ctx.Canceled(); err != nil {
+		panic(&woAbort{err})
+	}
+	if !e.out.deadline.IsZero() && now().After(e.out.deadline) {
+		panic(&woAbort{&DeadlineError{Limit: e.ctx.WODeadline}})
+	}
+	if err := e.ctx.FaultAt(faults.BlockMaterialize); err != nil {
+		panic(&woAbort{err})
+	}
+}
+
 func (e *Emitter) seal() {
 	b := e.cur
-	e.cur = nil
+	e.sealed = append(e.sealed, sealedBlock{b: b, base: e.curBase})
+	e.cur, e.curBase = nil, 0
 	e.out.Blocks = append(e.out.Blocks, b)
 	if e.ctx.Sim != nil {
 		e.out.Sim += e.ctx.Sim.Produced(b, int64(b.UsedBytes()))
@@ -279,19 +415,105 @@ func (e *Emitter) AppendRaw(l *storage.Block, lrow int, lproj []int, r *storage.
 	e.out.RowsOut++
 }
 
-// Close checks the current partial block back into the pool. Must be called
-// at the end of every work order that used the emitter.
+// Close checks the current partial block back into the pool. Called by
+// Output.Finish at the end of every successful work-order attempt (operator
+// code no longer calls it directly, so that a failed attempt rolls back
+// instead of checking a poisoned partial into the shared pool).
 func (e *Emitter) Close() {
+	e.sealed = nil
 	if e.cur == nil {
 		return
 	}
 	if e.cur.NumRows() == 0 {
 		e.ctx.Pool.Release(e.cur)
-		e.cur = nil
+		e.cur, e.curBase = nil, 0
 		return
 	}
 	e.ctx.Pool.CheckIn(e.owner, e.cur)
-	e.cur = nil
+	e.cur, e.curBase = nil, 0
+}
+
+// rollback undoes the attempt's materialization: blocks the attempt checked
+// out fresh go back to the pool empty, resumed partials are truncated to
+// their pre-attempt row count and checked back in. It runs in the worker
+// goroutine before the result is reported, so neither a retry nor a
+// concurrent work order of the same operator can resume a block holding the
+// failed attempt's rows.
+func (e *Emitter) rollback() {
+	if e.cur != nil {
+		e.undo(e.cur, e.curBase)
+		e.cur, e.curBase = nil, 0
+	}
+	for _, s := range e.sealed {
+		e.undo(s.b, s.base)
+	}
+	e.sealed = nil
+}
+
+func (e *Emitter) undo(b *storage.Block, base int) {
+	b.Truncate(base)
+	if base > 0 {
+		e.ctx.Pool.CheckIn(e.owner, b)
+	} else {
+		e.ctx.Pool.Release(b)
+	}
+}
+
+// woAbort carries an abort error from deep kernel code with no error return
+// path (emitter interruption points) up to runSafely, which unwraps it
+// without treating it as a programming-error panic.
+type woAbort struct{ err error }
+
+// DeadlineError reports a work-order attempt that exceeded
+// ExecCtx.WODeadline. It is transient: the scheduler rolls the attempt back
+// and retries it.
+type DeadlineError struct {
+	Limit   time.Duration
+	Elapsed time.Duration // 0 when detected mid-run at an interruption point
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	if e.Elapsed > 0 {
+		return fmt.Sprintf("core: work order exceeded deadline %v (ran %v)", e.Limit, e.Elapsed)
+	}
+	return fmt.Sprintf("core: work order exceeded deadline %v", e.Limit)
+}
+
+// Transient marks deadline misses retryable.
+func (e *DeadlineError) Transient() bool { return true }
+
+// PanicError is a recovered work-order panic with the goroutine stack
+// captured at the panic site (satisfying the "panics must be diagnosable"
+// requirement: the stack is attached, not lost).
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: work order panicked: %v\n%s", e.Val, e.Stack)
+}
+
+// Unwrap exposes a panic value that was itself an error (an injected
+// KindPanic fault unwraps to its *faults.Fault, keeping it transient).
+func (e *PanicError) Unwrap() error {
+	err, _ := e.Val.(error)
+	return err
+}
+
+// IsTransient reports whether err is safe to retry: some error in its chain
+// implements Transient() true. Injected faults and deadline misses are
+// transient; programming-error panics and context cancellation are not.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
 }
 
 // now is indirected for tests.

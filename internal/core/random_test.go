@@ -36,7 +36,7 @@ type passWO struct {
 
 func (w *passWO) Inputs() []*storage.Block { return []*storage.Block{w.b} }
 
-func (w *passWO) Run(_ *ExecCtx, out *Output) {
+func (w *passWO) Run(_ *ExecCtx, out *Output) error {
 	n := w.b.NumRows()
 	w.p.rowsIn.Add(int64(n))
 	nb := storage.NewBlock(testSchema, storage.RowStore, n*8+8)
@@ -45,6 +45,7 @@ func (w *passWO) Run(_ *ExecCtx, out *Output) {
 	}
 	out.Blocks = append(out.Blocks, nb)
 	out.RowsIn = int64(n)
+	return nil
 }
 
 // sink counts rows without re-emitting.
@@ -72,9 +73,10 @@ type sinkWO struct {
 }
 
 func (w *sinkWO) Inputs() []*storage.Block { return []*storage.Block{w.b} }
-func (w *sinkWO) Run(_ *ExecCtx, out *Output) {
+func (w *sinkWO) Run(_ *ExecCtx, out *Output) error {
 	w.s.rows.Add(int64(w.b.NumRows()))
 	out.RowsIn = int64(w.b.NumRows())
+	return nil
 }
 
 // TestRandomDAGsConserveRows builds random layered DAGs — random producer

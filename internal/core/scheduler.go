@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/stats"
@@ -13,7 +15,10 @@ import (
 // to ctx.Workers worker goroutines, routing producer output blocks to
 // consumers in groups of UoT blocks per pipelined edge (defaultUoT applies
 // to edges that do not override it). Run returns after every operator has
-// finished, or after the first work-order failure.
+// finished, after the run context is canceled, or after a work order fails
+// fatally (transient failures are rolled back and retried up to
+// ctx.MaxAttempts with exponential backoff). On any exit path the scheduler
+// reclaims every intermediate block and verifies the zero-leak invariants.
 func Run(plan *Plan, ctx *ExecCtx, defaultUoT int) error {
 	if defaultUoT <= 0 {
 		defaultUoT = 1
@@ -26,19 +31,32 @@ func Run(plan *Plan, ctx *ExecCtx, defaultUoT int) error {
 	return s.run()
 }
 
+// memHoldLimit is how many times a block-producing work order is held back
+// under memory pressure before the scheduler degrades: past it, the
+// producer's out-edge UoTs are raised and the job dispatched anyway.
+const memHoldLimit = 8
+
+// maxRaisedUoT caps degradation-raised UoTs before snapping to UoTTable.
+const maxRaisedUoT = 1 << 20
+
 type job struct {
 	op OpID
 	wo WorkOrder
+	// attempt counts completed executions of wo (0 for the first
+	// dispatch); notBefore delays re-dispatch for retry backoff.
+	attempt   int
+	notBefore time.Time
 }
 
 type wres struct {
-	op     OpID
-	wo     WorkOrder
-	out    *Output
-	start  time.Time
-	end    time.Time
-	worker int
-	err    error
+	op      OpID
+	wo      WorkOrder
+	out     *Output
+	start   time.Time
+	end     time.Time
+	worker  int
+	attempt int // 1-based: attempts completed including this one
+	err     error
 }
 
 type edgeState struct {
@@ -61,6 +79,7 @@ type opState struct {
 	finalIssued bool
 	done        bool
 	maxDOP      int
+	memHolds    int // consecutive memory-budget holds (degradation trigger)
 	out         []*edgeState
 	held        map[*storage.Block]struct{}
 	scalarSlots []int
@@ -159,24 +178,39 @@ func (s *sched) run() error {
 	defer close(s.dispatch)
 
 	for s.doneOps < len(s.states) {
-		ji := s.pickJob()
-		if ji < 0 {
-			if s.inflight == 0 {
-				if s.runErr != nil {
-					return s.runErr
-				}
-				var stuck []string
-				for _, st := range s.states {
-					if !st.done {
-						stuck = append(stuck, fmt.Sprintf("%s{started=%v deps=%d inputsOpen=%d}",
-							st.op.Name(), st.started, st.deps, st.inputsOpen))
-					}
-				}
-				return fmt.Errorf("core: scheduler stalled with %d/%d operators done (plan bug: unreachable operator or missing edge): %v",
-					s.doneOps, len(s.states), stuck)
+		if s.runErr == nil {
+			if err := s.ctx.Canceled(); err != nil {
+				s.fail(fmt.Errorf("core: run canceled: %w", err))
 			}
+		}
+		// Drain pending results before dispatching: pickJob then decides
+		// on a fresh queue, and with one worker the schedule becomes fully
+		// deterministic (what makes a seeded fault schedule replayable).
+		select {
+		case r := <-s.results:
+			s.onComplete(r)
+			continue
+		default:
+		}
+		if s.inflight >= s.ctx.Workers {
 			s.onComplete(<-s.results)
 			continue
+		}
+		ji := s.pickJob()
+		if ji < 0 {
+			if s.inflight > 0 {
+				s.onComplete(<-s.results)
+				continue
+			}
+			if w, ok := s.backoffWait(); ok {
+				// Every queued job is a retry waiting out its backoff.
+				time.Sleep(w)
+				continue
+			}
+			if s.runErr == nil {
+				s.failStalled()
+			}
+			break
 		}
 		j := s.queue[ji]
 		select {
@@ -193,24 +227,105 @@ func (s *sched) run() error {
 	for s.inflight > 0 {
 		s.onComplete(<-s.results)
 	}
+	s.cleanup()
+	s.checkInvariants()
 	return s.runErr
+}
+
+// fail records the first fatal error and cancels all remaining queued work
+// orders.
+func (s *sched) fail(err error) {
+	if s.runErr != nil {
+		return
+	}
+	s.runErr = err
+	if dropped := len(s.queue); dropped > 0 && s.ctx.Run != nil {
+		s.ctx.Run.AddCancellations(int64(dropped))
+	}
+	s.queue = nil
+	for _, o := range s.states {
+		o.queued = 0
+	}
+}
+
+// failStalled reports a scheduler stall (unreachable operator or missing
+// edge), including which pipelined edges still buffer undelivered blocks —
+// the bookkeeping that pins down where the data stopped flowing.
+func (s *sched) failStalled() {
+	var stuck []string
+	for _, st := range s.states {
+		if !st.done {
+			stuck = append(stuck, fmt.Sprintf("%s{started=%v deps=%d inputsOpen=%d queued=%d inflight=%d finalIssued=%v}",
+				st.op.Name(), st.started, st.deps, st.inputsOpen, st.queued, st.inflight, st.finalIssued))
+		}
+	}
+	var buffered []string
+	blocks := 0
+	for _, es := range s.edges {
+		if es.e.Kind == Pipelined && len(es.buf) > 0 {
+			blocks += len(es.buf)
+			buffered = append(buffered, fmt.Sprintf("%s->%s(input %d): %d blocks",
+				s.states[es.e.From].op.Name(), s.states[es.e.To].op.Name(), es.e.ToInput, len(es.buf)))
+		}
+	}
+	msg := fmt.Sprintf("core: scheduler stalled with %d/%d operators done (plan bug: unreachable operator or missing edge): %v",
+		s.doneOps, len(s.states), stuck)
+	if len(buffered) > 0 {
+		msg += fmt.Sprintf("; %d undelivered blocks buffered on %d edge(s): %v", blocks, len(buffered), buffered)
+	}
+	s.fail(fmt.Errorf("%s", msg))
+}
+
+// backoffWait returns how long to sleep until the earliest backoff-delayed
+// job becomes dispatchable; ok is false only when the queue is empty (a
+// genuine stall). A job that came due between pickJob's clock sample and
+// this one returns a zero wait so the loop re-picks immediately — with no
+// work in flight a due job is always dispatchable, so this cannot livelock.
+func (s *sched) backoffWait() (time.Duration, bool) {
+	if s.runErr != nil || len(s.queue) == 0 {
+		return 0, false
+	}
+	t := now()
+	var earliest time.Time
+	for _, j := range s.queue {
+		if !j.notBefore.After(t) {
+			return 0, true
+		}
+		if earliest.IsZero() || j.notBefore.Before(earliest) {
+			earliest = j.notBefore
+		}
+	}
+	return earliest.Sub(t), true
 }
 
 // pickJob returns the index of the dispatchable queued job belonging to the
 // deepest operator (consumer priority), breaking ties by queue order; -1 if
-// nothing is dispatchable. After an error, nothing is dispatchable.
+// nothing is dispatchable. After an error, nothing is dispatchable. Jobs in
+// retry backoff are skipped until due.
 //
 // When a temp-memory budget is set (a Section III-C scheduler policy) and
 // live intermediate bytes exceed it, producer work orders — jobs of
 // operators that are not at maximal depth among the queued jobs — are held
 // back so consumers can drain buffered blocks first; if the queue holds only
-// producers, one is dispatched anyway to guarantee progress.
+// producers, one is dispatched anyway to guarantee progress. A producer held
+// back more than memHoldLimit times in a row degrades instead of stalling
+// further: the UoT on its out-edges is raised (coarser transfers, less
+// scheduling churn) and the job dispatched.
 func (s *sched) pickJob() int {
 	if s.runErr != nil {
 		return -1
 	}
+	var t time.Time
 	best, bestDepth := -1, -1
 	for i, j := range s.queue {
+		if !j.notBefore.IsZero() {
+			if t.IsZero() {
+				t = now()
+			}
+			if j.notBefore.After(t) {
+				continue
+			}
+		}
 		st := s.states[j.op]
 		if st.maxDOP != 0 && st.inflight >= st.maxDOP {
 			continue
@@ -220,13 +335,41 @@ func (s *sched) pickJob() int {
 		}
 	}
 	if best >= 0 && s.overBudget() && s.inflight > 0 && s.producesBlocks(s.queue[best].op) {
-		// Hold back block-producing work while over budget; the in-flight
-		// work orders (consumers, by depth priority) will complete,
-		// release their input blocks, and unblock the queue. inflight > 0
-		// guarantees progress.
-		return -1
+		st := s.states[s.queue[best].op]
+		st.memHolds++
+		if st.memHolds <= memHoldLimit {
+			// Hold back block-producing work while over budget; the
+			// in-flight work orders (consumers, by depth priority) will
+			// complete, release their input blocks, and unblock the
+			// queue. inflight > 0 guarantees progress.
+			return -1
+		}
+		st.memHolds = 0
+		s.raiseUoT(st)
 	}
 	return best
+}
+
+// raiseUoT doubles the UoT of st's outgoing pipelined edges (snapping to
+// UoTTable past maxRaisedUoT): under sustained memory pressure the scheduler
+// trades transfer granularity for forward progress — the spectrum of Fig. 1
+// used as a degradation knob.
+func (s *sched) raiseUoT(st *opState) {
+	raised := false
+	for _, es := range st.out {
+		if es.e.Kind != Pipelined || es.uot == UoTTable {
+			continue
+		}
+		if es.uot >= maxRaisedUoT {
+			es.uot = UoTTable
+		} else {
+			es.uot *= 2
+		}
+		raised = true
+	}
+	if raised && s.ctx.Run != nil {
+		s.ctx.Run.AddUoTRaise()
+	}
 }
 
 func (s *sched) overBudget() bool {
@@ -256,31 +399,86 @@ func (s *sched) worker(id int) {
 		}
 		lastOp = j.op
 		start := now()
-		err := runSafely(j.wo, s.ctx, out)
-		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id, err: err}
+		var err error
+		if cerr := s.ctx.Canceled(); cerr != nil {
+			// Canceled while queued: report without running at all.
+			err = cerr
+		} else {
+			err = runSafely(j.wo, s.ctx, out, start)
+		}
+		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id, attempt: j.attempt + 1, err: err}
 	}
 }
 
-func runSafely(wo WorkOrder, ctx *ExecCtx, out *Output) (err error) {
+// runSafely executes one work-order attempt. Panics are recovered into
+// PanicError with the goroutine stack captured at the panic site; typed
+// aborts from emitter interruption points (injected faults, cancellation,
+// deadline) unwind to their underlying error. On any failure the attempt's
+// materialized blocks are rolled back via Output.Finish before the result is
+// reported, so a failed attempt leaves no trace in the temp-block pool.
+func runSafely(wo WorkOrder, ctx *ExecCtx, out *Output, start time.Time) (err error) {
+	if ctx.WODeadline > 0 {
+		out.deadline = start.Add(ctx.WODeadline)
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: work order panicked: %v", r)
+			if a, ok := r.(*woAbort); ok {
+				err = a.err
+			} else {
+				err = &PanicError{Val: r, Stack: debug.Stack()}
+			}
 		}
+		if err == nil && ctx.WODeadline > 0 {
+			// The attempt overran but completed; keep its result (it may
+			// have mutated shared operator state, so a forced retry would
+			// not be sound) and record the hit.
+			if el := now().Sub(start); el > ctx.WODeadline && ctx.Run != nil {
+				ctx.Run.AddDeadlineHit()
+			}
+		}
+		out.Finish(err)
 	}()
-	wo.Run(ctx, out)
-	return nil
+	return wo.Run(ctx, out)
+}
+
+// maxAttempts returns the per-work-order attempt bound (>= 1).
+func (s *sched) maxAttempts() int {
+	if s.ctx.MaxAttempts > 1 {
+		return s.ctx.MaxAttempts
+	}
+	return 1
+}
+
+// retryBackoff returns the delay before re-dispatching a work order that
+// failed `attempt` times: exponential from RetryBackoff (default 1ms),
+// capped at 100ms.
+func (s *sched) retryBackoff(attempt int) time.Duration {
+	base := s.ctx.RetryBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if maxB := 100 * time.Millisecond; d > maxB || d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	return d
 }
 
 func (s *sched) onComplete(r wres) {
 	st := s.states[r.op]
 	st.inflight--
 	s.inflight--
-	if r.err != nil && s.runErr == nil {
-		s.runErr = r.err
-		s.queue = nil
-		for _, o := range s.states {
-			o.queued = 0
+
+	retry := false
+	if r.err != nil {
+		if s.ctx.Run != nil {
+			s.ctx.Run.AddFailedAttempt()
+			var de *DeadlineError
+			if errors.As(r.err, &de) {
+				s.ctx.Run.AddDeadlineHit()
+			}
 		}
+		retry = s.runErr == nil && r.attempt < s.maxAttempts() && IsTransient(r.err)
 	}
 	if s.ctx.Run != nil {
 		s.ctx.Run.Record(stats.WorkOrder{
@@ -300,9 +498,35 @@ func (s *sched) onComplete(r wres) {
 			AggMergeFanout:  r.out.AggMergeFanout,
 			AggFastRows:     r.out.AggFastRows,
 			AggFallbackRows: r.out.AggFallbackRows,
+
+			Attempt:   r.attempt,
+			Failed:    r.err != nil,
+			Demotions: r.out.Demotions,
 		})
 	}
-	// Release consumed intermediate blocks.
+	if retry {
+		// The attempt was rolled back by runSafely; the inputs stay held
+		// and the same work order re-dispatches after backoff.
+		if s.ctx.Run != nil {
+			s.ctx.Run.AddRetry()
+		}
+		s.queue = append(s.queue, job{
+			op: r.op, wo: r.wo,
+			attempt:   r.attempt,
+			notBefore: now().Add(s.retryBackoff(r.attempt)),
+		})
+		st.queued++
+		return
+	}
+	if r.err != nil && s.runErr == nil {
+		err := r.err
+		if r.attempt > 1 {
+			err = fmt.Errorf("core: work order for %s failed after %d attempts: %w", st.op.Name(), r.attempt, r.err)
+		}
+		s.fail(err)
+	}
+	// Release consumed intermediate blocks (kept until now so retried
+	// attempts could re-read them).
 	for _, b := range r.wo.Inputs() {
 		if _, ok := st.held[b]; ok {
 			delete(st.held, b)
@@ -311,6 +535,12 @@ func (s *sched) onComplete(r wres) {
 	}
 	if s.runErr == nil {
 		s.emit(st, r.out.Blocks)
+	} else {
+		// A straggler that completed after the run failed: its output
+		// will never be delivered, so reclaim it here.
+		for _, b := range r.out.Blocks {
+			s.ctx.Pool.Release(b)
+		}
 	}
 	s.check(st)
 }
@@ -458,6 +688,70 @@ func (s *sched) finish(st *opState) {
 	for b := range st.held {
 		delete(st.held, b)
 		s.decRef(b)
+	}
+}
+
+// cleanup reclaims every intermediate block an aborted run left behind:
+// refcounted blocks, blocks buffered on edges awaiting delivery, and partial
+// blocks still checked into the pool. Successful runs release everything
+// through the normal flow, so this is a no-op for them.
+func (s *sched) cleanup() {
+	if s.runErr == nil {
+		return
+	}
+	released := make(map[*storage.Block]struct{})
+	release := func(b *storage.Block) {
+		if _, ok := released[b]; ok {
+			return
+		}
+		released[b] = struct{}{}
+		s.ctx.Pool.Release(b)
+		if s.ctx.Sim != nil {
+			s.ctx.Sim.Evict(b)
+		}
+	}
+	for b := range s.rc {
+		release(b)
+		delete(s.rc, b)
+	}
+	for _, es := range s.edges {
+		for _, b := range es.buf {
+			release(b)
+		}
+		es.buf = nil
+	}
+	for _, st := range s.states {
+		for b := range st.held {
+			delete(st.held, b)
+		}
+		for _, b := range s.ctx.Pool.TakePartials(int(st.id)) {
+			release(b)
+		}
+	}
+}
+
+// checkInvariants verifies the zero-leak invariants after every run — no
+// blocks buffered on edges, none held by operators, no partials checked into
+// the pool, no refcount entries alive — records the counts in stats, and
+// turns a violation on an otherwise successful run into an error (it means a
+// scheduler bug, and silently leaking is worse than failing).
+func (s *sched) checkInvariants() {
+	bufBlocks := 0
+	for _, es := range s.edges {
+		bufBlocks += len(es.buf)
+	}
+	heldBlocks := 0
+	for _, st := range s.states {
+		heldBlocks += len(st.held)
+	}
+	partials := s.ctx.Pool.PendingPartials()
+	refs := len(s.rc)
+	if s.ctx.Run != nil {
+		s.ctx.Run.SetLeaks(int64(bufBlocks+heldBlocks+partials), int64(refs))
+	}
+	if s.runErr == nil && bufBlocks+heldBlocks+partials+refs > 0 {
+		s.runErr = fmt.Errorf("core: invariant violation after run: %d edge-buffered, %d held, %d partial blocks leaked, %d outstanding block refs",
+			bufBlocks, heldBlocks, partials, refs)
 	}
 }
 

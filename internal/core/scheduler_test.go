@@ -58,7 +58,7 @@ type produceWO struct {
 
 func (w *produceWO) Inputs() []*storage.Block { return nil }
 
-func (w *produceWO) Run(_ *ExecCtx, out *Output) {
+func (w *produceWO) Run(_ *ExecCtx, out *Output) error {
 	for b := 0; b < w.blocks; b++ {
 		blk := storage.NewBlock(testSchema, storage.RowStore, w.rows*8)
 		for r := 0; r < w.rows; r++ {
@@ -66,6 +66,7 @@ func (w *produceWO) Run(_ *ExecCtx, out *Output) {
 		}
 		out.Blocks = append(out.Blocks, blk)
 	}
+	return nil
 }
 
 // consumer records the size of every Feed group and counts rows via work
@@ -110,10 +111,11 @@ type consumeWO struct {
 
 func (w *consumeWO) Inputs() []*storage.Block { return []*storage.Block{w.b} }
 
-func (w *consumeWO) Run(_ *ExecCtx, out *Output) {
+func (w *consumeWO) Run(_ *ExecCtx, out *Output) error {
 	n := int64(w.b.NumRows())
 	atomic.AddInt64(&w.c.rows, n)
 	out.RowsIn = n
+	return nil
 }
 
 func pipePlan(p *producer, c *consumer, uot int) *Plan {
@@ -214,9 +216,10 @@ func (p *slowProducer) Start(ctx *ExecCtx) []WorkOrder {
 type slowWO struct{ p *slowProducer }
 
 func (w *slowWO) Inputs() []*storage.Block { return nil }
-func (w *slowWO) Run(*ExecCtx, *Output) {
+func (w *slowWO) Run(*ExecCtx, *Output) error {
 	time.Sleep(20 * time.Millisecond)
 	w.p.doneAt.Store(time.Now().UnixNano())
+	return nil
 }
 
 func TestBlockingEdgeGatesStart(t *testing.T) {
@@ -298,8 +301,8 @@ func (p *panicOp) Start(*ExecCtx) []WorkOrder {
 
 type panicWO struct{}
 
-func (panicWO) Inputs() []*storage.Block { return nil }
-func (panicWO) Run(*ExecCtx, *Output)    { panic("boom") }
+func (panicWO) Inputs() []*storage.Block    { return nil }
+func (panicWO) Run(*ExecCtx, *Output) error { panic("boom") }
 
 func TestWorkOrderPanicBecomesError(t *testing.T) {
 	plan := &Plan{}
@@ -332,7 +335,7 @@ func (d *dopOp) Start(*ExecCtx) []WorkOrder {
 type dopWO struct{ d *dopOp }
 
 func (w *dopWO) Inputs() []*storage.Block { return nil }
-func (w *dopWO) Run(*ExecCtx, *Output) {
+func (w *dopWO) Run(*ExecCtx, *Output) error {
 	c := w.d.cur.Add(1)
 	for {
 		m := w.d.max.Load()
@@ -342,6 +345,7 @@ func (w *dopWO) Run(*ExecCtx, *Output) {
 	}
 	time.Sleep(time.Millisecond)
 	w.d.cur.Add(-1)
+	return nil
 }
 
 func TestMaxDOPCap(t *testing.T) {

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// chaosOpts returns execution options with the given injector and generous
+// retry headroom, so transient injected faults never fail the query.
+func chaosOpts(inj *faults.Injector, workers int) Options {
+	return Options{
+		Workers:        workers,
+		UoTBlocks:      1,
+		TempBlockBytes: 4 << 10,
+		Faults:         inj,
+		MaxAttempts:    10,
+		RetryBackoff:   time.Microsecond,
+	}
+}
+
+func allSiteRates(rate float64) map[faults.Site]float64 {
+	m := map[faults.Site]float64{}
+	for _, s := range faults.Sites() {
+		m[s] = rate
+	}
+	return m
+}
+
+// mustRows executes the plan and returns its sorted rows.
+func mustRows(t *testing.T, b *Builder, opts Options, label string) ([][]types.Datum, *Result) {
+	t.Helper()
+	res, err := Execute(b, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	rows := Rows(res.Table)
+	SortRows(rows)
+	return rows, res
+}
+
+// sameRows compares result sets exactly, except Float64 columns, which get a
+// small relative tolerance: retried and demoted runs may legitimately sum
+// float aggregates in a different order than the fault-free baseline.
+func sameRows(a, b [][]types.Datum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			if x.Ty == types.Float64 && y.Ty == types.Float64 {
+				diff, scale := x.F-y.F, 1.0
+				if ax := x.F; ax < 0 {
+					ax = -ax
+					if ax > scale {
+						scale = ax
+					}
+				} else if ax > scale {
+					scale = ax
+				}
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-6*scale {
+					return false
+				}
+				continue
+			}
+			if types.Compare(x, y) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func buildSelectPlan(fact *storage.Table) *Builder {
+	b := NewBuilder()
+	fs := fact.Schema()
+	sel := b.ScanSelect(exec.SelectSpec{
+		Name: "sel_fact", Base: fact,
+		Pred:      expr.Lt(expr.C(fs, "v"), expr.Float(50)),
+		Proj:      []expr.Expr{expr.C(fs, "k"), expr.C(fs, "v")},
+		ProjNames: []string{"k", "v"},
+	})
+	b.Collect(sel)
+	return b
+}
+
+// TestRetryIdempotence is the satellite-4 contract: a plan executed under
+// injected faults — work orders failing, rolling back, and retrying; fast
+// paths demoting — produces results identical to the fault-free run, for a
+// pure select, a build+probe join with aggregation, and across several
+// seeds. Nothing may leak.
+func TestRetryIdempotence(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+
+	plans := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"select", func() *Builder { return buildSelectPlan(fact) }},
+		{"join-probe-agg", func() *Builder { return buildJoinAggPlan(fact, dim) }},
+	}
+	for _, p := range plans {
+		t.Run(p.name, func(t *testing.T) {
+			base, _ := mustRows(t, p.build(), Options{
+				Workers: 2, UoTBlocks: 1, TempBlockBytes: 4 << 10,
+			}, "fault-free")
+			if len(base) == 0 {
+				t.Fatal("fault-free baseline is empty")
+			}
+			var injected int64
+			for seed := uint64(1); seed <= 5; seed++ {
+				inj := faults.New(faults.Config{
+					Seed:       seed,
+					Rates:      allSiteRates(0.05),
+					MaxLatency: 50 * time.Microsecond,
+				})
+				rows, res := mustRows(t, p.build(), chaosOpts(inj, 2), "chaos")
+				if !sameRows(base, rows) {
+					t.Fatalf("seed %d: chaos result differs from fault-free baseline", seed)
+				}
+				r := res.Run.Robust()
+				if r.LeakedBlocks != 0 || r.OutstandingRefs != 0 {
+					t.Fatalf("seed %d: leaks after chaos run: %+v", seed, r)
+				}
+				if r.FaultsInjected != int64(inj.Injected()) {
+					t.Fatalf("seed %d: stats faults=%d, injector=%d", seed, r.FaultsInjected, inj.Injected())
+				}
+				injected += r.FaultsInjected
+			}
+			if injected == 0 {
+				t.Fatal("no faults injected across all seeds; chaos rates too low to test anything")
+			}
+		})
+	}
+}
+
+// TestDemotionPreservesResults drives the demotable fast-path sites at rate
+// 1.0: the very first fast-path attempt faults, the operator demotes to its
+// reference path, and the retried work orders must still produce the exact
+// fault-free result.
+func TestDemotionPreservesResults(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+	base, _ := mustRows(t, buildJoinAggPlan(fact, dim), Options{
+		Workers: 2, UoTBlocks: 1, TempBlockBytes: 4 << 10,
+	}, "fault-free")
+
+	for _, site := range []faults.Site{faults.HashInsert, faults.AggUpsert} {
+		t.Run(site.String(), func(t *testing.T) {
+			inj := faults.New(faults.Config{
+				Seed:  7,
+				Rates: map[faults.Site]float64{site: 1},
+				Kinds: []faults.Kind{faults.KindError},
+			})
+			rows, res := mustRows(t, buildJoinAggPlan(fact, dim), chaosOpts(inj, 2), "demotion")
+			if !sameRows(base, rows) {
+				t.Fatal("demoted run result differs from fault-free baseline")
+			}
+			r := res.Run.Robust()
+			if r.Demotions == 0 {
+				t.Fatal("fast path was never demoted despite rate-1.0 faults")
+			}
+			if r.Retries == 0 {
+				t.Fatal("demotion did not go through the retry path")
+			}
+		})
+	}
+}
+
+// TestFaultScheduleReplay: at one worker the execution order is
+// deterministic, so the same seed must consult the injector in the same
+// order and fire the identical fault schedule — the replayability the chaos
+// harness depends on.
+func TestFaultScheduleReplay(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+	run := func(seed uint64) []faults.Event {
+		inj := faults.New(faults.Config{
+			Seed:  seed,
+			Rates: allSiteRates(0.1),
+			Kinds: []faults.Kind{faults.KindError},
+		})
+		if _, err := Execute(buildJoinAggPlan(fact, dim), chaosOpts(inj, 1)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return inj.Schedule()
+	}
+	s1, s2 := run(42), run(42)
+	if len(s1) == 0 {
+		t.Fatal("seed 42 fired no faults; schedule comparison is vacuous")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed fired different schedules:\n  first:  %v\n  second: %v", s1, s2)
+	}
+	if s3 := run(43); reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds fired identical schedules")
+	}
+}

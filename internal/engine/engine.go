@@ -5,12 +5,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -41,8 +44,28 @@ type Options struct {
 	NoPoolRecycle bool
 	// MemoryBudget, if positive, softly caps live temporary-block bytes:
 	// block-producing work orders are held while consumers drain (a
-	// Section III-C scheduler policy).
+	// Section III-C scheduler policy). Under sustained pressure the
+	// scheduler raises producer-edge UoTs instead of stalling.
 	MemoryBudget int64
+	// Context, if non-nil, cancels the whole run when done: queued work
+	// orders are dropped and Execute returns the cancellation error.
+	Context context.Context
+	// Faults, if non-nil, is a deterministic fault injector consulted by
+	// operators and the block emitter at named sites (chaos testing).
+	Faults *faults.Injector
+	// MaxAttempts bounds executions per work order: a transient failure
+	// (injected fault, deadline) is rolled back and retried with
+	// exponential backoff up to MaxAttempts total attempts. 0 or 1 disables
+	// retry.
+	MaxAttempts int
+	// RetryBackoff is the base re-dispatch delay after a transient failure,
+	// doubling per attempt (capped at 100ms). Default 1ms.
+	RetryBackoff time.Duration
+	// WorkOrderDeadline, if positive, bounds each work-order attempt:
+	// attempts catching themselves over the deadline at an interruption
+	// point abort (transiently, so they retry); completed overruns are
+	// recorded in the run's robustness counters.
+	WorkOrderDeadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -83,10 +106,18 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		TempFormat:     opts.TempFormat,
 		Workers:        opts.Workers,
 		MemoryBudget:   opts.MemoryBudget,
+		Ctx:            opts.Context,
+		Faults:         opts.Faults,
+		MaxAttempts:    opts.MaxAttempts,
+		RetryBackoff:   opts.RetryBackoff,
+		WODeadline:     opts.WorkOrderDeadline,
 	}
 	b.plan.MaxDOP = opts.MaxDOP
 	err := core.Run(b.plan, ctx, opts.UoTBlocks)
 	run.Finish()
+	if opts.Faults != nil {
+		run.AddFaults(opts.Faults.Injected())
+	}
 	if err != nil {
 		return nil, err
 	}

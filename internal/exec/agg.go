@@ -9,6 +9,7 @@ import (
 	"repro/internal/aggtable"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/faults"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -86,6 +87,13 @@ type AggOp struct {
 	keyCols   []int
 	keyIsDate []bool
 	fAggs     []fastAgg
+
+	// demoted flips (permanently, for the run) when a fault fires on the
+	// vectorized path: subsequent work orders — including the retry of the
+	// failed one — take the reference map path, which consults no fault
+	// sites, and Final folds the already-built fast partials into the
+	// reference groups before emitting.
+	demoted atomic.Bool
 
 	// Fast-path runtime state: the free-list of thread-local partials. pall
 	// tracks every partial ever created (for the merge); pfree holds the
@@ -292,8 +300,8 @@ func (o *AggOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.Wor
 // out one merge work order per radix partition, so merging partial tables
 // parallelizes across workers; otherwise a single work order emits the
 // merged groups.
-func (o *AggOp) Final(*core.ExecCtx) []core.WorkOrder {
-	if o.fast {
+func (o *AggOp) Final(ctx *core.ExecCtx) []core.WorkOrder {
+	if o.fast && !o.demoted.Load() {
 		if len(o.groupBy) == 0 {
 			return []core.WorkOrder{&aggScalarFinalWO{op: o}}
 		}
@@ -303,7 +311,81 @@ func (o *AggOp) Final(*core.ExecCtx) []core.WorkOrder {
 		}
 		return wos
 	}
+	if o.fast {
+		// Demoted mid-run: earlier blocks accumulated into fast partials,
+		// later ones into the reference map. Fold the partials into the map
+		// here, on the scheduler goroutine — Final runs exactly once, so the
+		// fold can never double-apply, which it could if it lived inside a
+		// retryable work order.
+		o.foldPartials(ctx)
+	}
 	return []core.WorkOrder{&aggFinalWO{op: o}}
+}
+
+// foldPartials converts every fast-path partial (grouped tables and scalar
+// cell rows) into reference-path groups and merges them into o.groups.
+func (o *AggOp) foldPartials(ctx *core.ExecCtx) {
+	local := make(map[string]*aggGroup)
+	var keyBuf []byte
+	for _, p := range o.pall {
+		if t := p.tab; t != nil {
+			for g := 0; g < t.Len(); g++ {
+				k0, k1 := t.Key(g)
+				keys := make([]types.Datum, len(o.keyCols))
+				keyBuf = keyBuf[:0]
+				keys[0] = o.keyDatum(0, k0)
+				keyBuf = appendKey(keyBuf, keys[0])
+				if len(o.keyCols) == 2 {
+					keys[1] = o.keyDatum(1, k1)
+					keyBuf = appendKey(keyBuf, keys[1])
+				}
+				grp := local[string(keyBuf)]
+				if grp == nil {
+					grp = &aggGroup{keys: keys, acc: make([]accCell, len(o.aggs))}
+					local[string(keyBuf)] = grp
+				}
+				for j := range o.aggs {
+					o.mergeCellInto(j, t.CellAt(int32(g), j), &grp.acc[j])
+				}
+			}
+		}
+		if p.cells != nil {
+			grp := local[""]
+			if grp == nil {
+				grp = &aggGroup{acc: make([]accCell, len(o.aggs))}
+				local[""] = grp
+			}
+			for j := range o.aggs {
+				o.mergeCellInto(j, &p.cells[j], &grp.acc[j])
+			}
+		}
+	}
+	o.merge(ctx, local)
+}
+
+// mergeCellInto folds one fixed-width fast-path accumulator into a
+// reference-path cell, field by field: both paths track Count on every kind,
+// Sum/Avg mirror SumI/SumF, and Min/Max rebuild the comparable datum from
+// the fixed-width view exactly as finishFastCell would.
+func (o *AggOp) mergeCellInto(i int, c *aggtable.Cell, dst *accCell) {
+	a := o.aggs[i]
+	dst.count += c.Count
+	dst.sumI += c.SumI
+	dst.sumF += c.SumF
+	if c.Set {
+		var d types.Datum
+		if a.Arg.Type() == types.Float64 {
+			d = types.NewFloat64(c.MMF)
+		} else {
+			d = types.Datum{Ty: a.Arg.Type(), I: c.MMI}
+		}
+		if !dst.set ||
+			(a.Func == Min && types.Compare(d, dst.minmax) < 0) ||
+			(a.Func == Max && types.Compare(d, dst.minmax) > 0) {
+			dst.minmax = d
+			dst.set = true
+		}
+	}
 }
 
 // ScalarValue implements core.Operator: valid for scalar aggregates after
@@ -352,7 +434,7 @@ type aggWO struct {
 
 func (w *aggWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
 
-func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	b := w.block
 	n := b.NumRows()
@@ -361,16 +443,29 @@ func (w *aggWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
 	}
 	switch {
-	case o.fast && len(o.keyCols) > 0:
-		o.runFast(ctx, b, out)
-	case o.fast:
-		o.runScalarFast(ctx, b, out)
+	case o.fast && !o.demoted.Load():
+		// The fault site fires before the partial is checked out, so a
+		// faulted attempt touches no accumulator state — the scheduler
+		// rolls it back and the retry lands on the (now demoted)
+		// reference path.
+		if err := ctx.FaultAt(faults.AggUpsert); err != nil {
+			if o.demoted.CompareAndSwap(false, true) {
+				out.Demotions++
+			}
+			return err
+		}
+		if len(o.keyCols) > 0 {
+			o.runFast(ctx, b, out)
+		} else {
+			o.runScalarFast(ctx, b, out)
+		}
 	default:
 		o.runRef(ctx, b, out)
 	}
 	if ctx.Sim != nil {
 		out.Sim += ctx.Sim.RandomProbes(int64(n), atomic.LoadInt64(&o.memBytes)+1)
 	}
+	return nil
 }
 
 // gatherKey loads a group-key or integer-argument column as int64s, widening
@@ -624,7 +719,7 @@ type aggMergeWO struct {
 
 func (w *aggMergeWO) Inputs() []*storage.Block { return nil }
 
-func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	out.AggMergeFanout++
 	var tabs []*aggtable.Table
@@ -636,10 +731,9 @@ func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		}
 	}
 	if len(tabs) == 0 {
-		return
+		return nil
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
-	defer em.Close()
 	descs := make([]aggtable.Agg, len(o.fAggs))
 	for j, fa := range o.fAggs {
 		descs[j] = fa.desc
@@ -654,7 +748,7 @@ func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 				o.emitFastGroup(em, out, t, g, row)
 			}
 		}
-		return
+		return nil
 	}
 	dst := aggtable.New(len(o.aggs), len(o.keyCols) == 2, groupsHint/aggParts+16)
 	for _, t := range tabs {
@@ -663,6 +757,7 @@ func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	for g := 0; g < dst.Len(); g++ {
 		o.emitFastGroup(em, out, dst, g, row)
 	}
+	return nil
 }
 
 // emitFastGroup materializes one merged group as an output row into the
@@ -697,7 +792,7 @@ type aggScalarFinalWO struct{ op *AggOp }
 
 func (w *aggScalarFinalWO) Inputs() []*storage.Block { return nil }
 
-func (w *aggScalarFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *aggScalarFinalWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	cells := make([]aggtable.Cell, len(o.aggs))
 	for _, p := range o.pall {
@@ -709,7 +804,6 @@ func (w *aggScalarFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		}
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
-	defer em.Close()
 	row := make([]types.Datum, len(o.aggs))
 	for j := range o.aggs {
 		row[j] = finishFastCell(o.aggs[j], &cells[j])
@@ -718,6 +812,7 @@ func (w *aggScalarFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	out.RowsIn++
 	o.scalarVal = row[0]
 	o.hasScalar = true
+	return nil
 }
 
 // finishFastCell converts a fixed-width accumulator into the result datum,
@@ -751,14 +846,15 @@ type aggFinalWO struct{ op *AggOp }
 
 func (w *aggFinalWO) Inputs() []*storage.Block { return nil }
 
-func (w *aggFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *aggFinalWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	if len(o.groupBy) == 0 && len(o.groups) == 0 {
-		// SQL: a scalar aggregate over empty input yields one row.
+		// SQL: a scalar aggregate over empty input yields one row. (The
+		// insert is idempotent, so an attempt aborted mid-emit retries
+		// cleanly.)
 		o.groups[""] = &aggGroup{acc: make([]accCell, len(o.aggs))}
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
-	defer em.Close()
 	row := make([]types.Datum, o.out.NumCols())
 	for _, g := range o.groups {
 		copy(row, g.keys)
@@ -774,6 +870,7 @@ func (w *aggFinalWO) Run(ctx *core.ExecCtx, out *core.Output) {
 			o.hasScalar = true
 		}
 	}
+	return nil
 }
 
 func finishCell(a AggSpec, c *accCell) types.Datum {

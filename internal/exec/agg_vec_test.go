@@ -184,7 +184,7 @@ func TestAggVecEmptyInputGrouped(t *testing.T) {
 	fast, ref := runAggBoth(t, AggOpSpec{
 		Name: "agg", InputSchema: s,
 		GroupBy: []expr.Expr{expr.C(s, "g1")}, GroupByNames: []string{"g1"},
-		Aggs:    []AggSpec{{Func: Count, Name: "c"}},
+		Aggs: []AggSpec{{Func: Count, Name: "c"}},
 	}, nil)
 	if len(fast) != 0 || len(ref) != 0 {
 		t.Fatalf("grouped aggregation over empty input emitted rows: fast %d, ref %d", len(fast), len(ref))
@@ -326,7 +326,7 @@ func TestAggVecConcurrent(t *testing.T) {
 			sem <- struct{}{}
 			go func(i int, wo core.WorkOrder) {
 				defer wg.Done()
-				wo.Run(ctx, &outs[i])
+				outs[i].Finish(wo.Run(ctx, &outs[i]))
 				<-sem
 			}(i, wo)
 		}
@@ -389,7 +389,7 @@ func TestAggRefFallbackCounters(t *testing.T) {
 	var fallback int64
 	for _, wo := range op.Feed(ctx, 0, blocks) {
 		out := &core.Output{}
-		wo.Run(ctx, out)
+		out.Finish(wo.Run(ctx, out))
 		fallback += out.AggFallbackRows
 	}
 	if fallback != 200 {

@@ -45,7 +45,10 @@ func runOp(t *testing.T, ctx *core.ExecCtx, op core.Operator, id core.OpID, bloc
 	runWOs := func(wos []core.WorkOrder) {
 		for _, wo := range wos {
 			out := &core.Output{}
-			wo.Run(ctx, out)
+			if err := wo.Run(ctx, out); err != nil {
+				t.Fatalf("work order failed: %v", err)
+			}
+			out.Finish(nil)
 			emitted = append(emitted, out.Blocks...)
 		}
 	}
@@ -163,7 +166,8 @@ func TestAggCharGroupKeysCopied(t *testing.T) {
 	ctx := execCtx()
 	op.Init(ctx)
 	for _, wo := range op.Feed(ctx, 0, []*storage.Block{b}) {
-		wo.Run(ctx, &core.Output{})
+		out := &core.Output{}
+		out.Finish(wo.Run(ctx, out))
 	}
 	// Clobber the input block before finalization.
 	b.Reset()
@@ -172,7 +176,7 @@ func TestAggCharGroupKeysCopied(t *testing.T) {
 	var emitted []*storage.Block
 	for _, wo := range op.Final(ctx) {
 		out := &core.Output{}
-		wo.Run(ctx, out)
+		out.Finish(wo.Run(ctx, out))
 		emitted = append(emitted, out.Blocks...)
 	}
 	emitted = append(emitted, ctx.Pool.TakePartials(3)...)
@@ -371,7 +375,7 @@ func TestConcurrentBuildWorkOrdersWithBloom(t *testing.T) {
 		go func(i int, wo core.WorkOrder) {
 			defer wg.Done()
 			outs[i] = &core.Output{}
-			wo.Run(ctx, outs[i])
+			outs[i].Finish(wo.Run(ctx, outs[i]))
 		}(i, wo)
 	}
 	wg.Wait()
@@ -407,7 +411,8 @@ func TestConcurrentBuildWorkOrdersWithBloom(t *testing.T) {
 		wg2.Add(1)
 		go func(wo core.WorkOrder) {
 			defer wg2.Done()
-			wo.Run(ctx, &core.Output{})
+			out := &core.Output{}
+			out.Finish(wo.Run(ctx, out))
 		}(wo)
 	}
 	wg2.Wait()

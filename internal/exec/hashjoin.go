@@ -3,10 +3,12 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bloom"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/faults"
 	"repro/internal/hashtable"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -39,6 +41,12 @@ type BuildHashOp struct {
 	filter   *bloom.Filter
 	scratch  sync.Pool // *hashtable.InsertScratch
 	readCols []int
+
+	// demoted flips (permanently, for the run) when a fault fires on the
+	// batch insert path: subsequent work orders — including the retry of the
+	// failed one — take the row-at-a-time reference path, which consults no
+	// fault sites. Graceful degradation instead of repeated failure.
+	demoted atomic.Bool
 }
 
 // BuildSpec configures NewBuildHash.
@@ -129,7 +137,7 @@ type buildWO struct {
 
 func (w *buildWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
 
-func (w *buildWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *buildWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	b := w.block
 	n := b.NumRows()
@@ -138,33 +146,90 @@ func (w *buildWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
 	}
 	if n > 0 {
-		sc, _ := o.scratch.Get().(*hashtable.InsertScratch)
-		if sc != nil {
-			out.ScratchHits++
-		} else {
-			sc = &hashtable.InsertScratch{}
+		if o.demoted.Load() {
+			o.insertRef(b)
+		} else if err := w.runBatch(ctx, out); err != nil {
+			// Fault sites fire before any table or filter mutation, so
+			// returning here leaves shared state untouched — the scheduler
+			// rolls the attempt back and re-dispatches it, and the retry
+			// lands on the (now demoted) reference path.
+			o.demote(out)
+			return err
 		}
-		var locks int
-		if o.keyOnly {
-			locks = o.ht.InsertBlockKeyOnly(b, o.keyCols, sc)
-		} else {
-			locks = o.ht.InsertBlock(b, o.keyCols, o.payloadIdx, sc)
-		}
-		out.ShardLocks += int64(locks)
-		out.BatchedRows += int64(n)
-		if o.filter != nil {
-			// Reuse the kernel's gathered key column; atomic adds need no
-			// operator-level lock.
-			k0, _ := sc.Keys()
-			o.filter.AddMany(k0)
-		}
-		o.scratch.Put(sc)
 	}
 	if ctx.Sim != nil {
 		// Hash-table inserts are random writes against the growing table.
 		out.Sim += ctx.Sim.RandomProbes(int64(n), o.ht.UsedBytes())
 	}
 	out.RowsOut = int64(n)
+	return nil
+}
+
+// runBatch inserts the block through the vectorized kernels. Both fault
+// sites are consulted up front, strictly before the first shared-state
+// mutation, so a faulted attempt has zero side effects to undo.
+func (w *buildWO) runBatch(ctx *core.ExecCtx, out *core.Output) error {
+	o := w.op
+	b := w.block
+	if err := ctx.FaultAt(faults.HashInsert); err != nil {
+		return err
+	}
+	if o.filter != nil {
+		if err := ctx.FaultAt(faults.BloomBuild); err != nil {
+			return err
+		}
+	}
+	sc, _ := o.scratch.Get().(*hashtable.InsertScratch)
+	if sc != nil {
+		out.ScratchHits++
+	} else {
+		sc = &hashtable.InsertScratch{}
+	}
+	var locks int
+	if o.keyOnly {
+		locks = o.ht.InsertBlockKeyOnly(b, o.keyCols, sc)
+	} else {
+		locks = o.ht.InsertBlock(b, o.keyCols, o.payloadIdx, sc)
+	}
+	out.ShardLocks += int64(locks)
+	out.BatchedRows += int64(b.NumRows())
+	if o.filter != nil {
+		// Reuse the kernel's gathered key column; atomic adds need no
+		// operator-level lock.
+		k0, _ := sc.Keys()
+		o.filter.AddMany(k0)
+	}
+	o.scratch.Put(sc)
+	return nil
+}
+
+// demote permanently switches the operator to the reference insert path and
+// records the transition once.
+func (o *BuildHashOp) demote(out *core.Output) {
+	if o.demoted.CompareAndSwap(false, true) {
+		out.Demotions++
+	}
+}
+
+// insertRef is the row-at-a-time reference insert path used after demotion;
+// it consults no fault sites.
+func (o *BuildHashOp) insertRef(b *storage.Block) {
+	n := b.NumRows()
+	for r := 0; r < n; r++ {
+		k0 := b.Int64At(o.keyCols[0], r)
+		var k1 int64
+		if len(o.keyCols) == 2 {
+			k1 = b.Int64At(o.keyCols[1], r)
+		}
+		if o.keyOnly {
+			o.ht.InsertKeyOnly(k0, k1)
+		} else {
+			o.ht.Insert(k0, k1, b, r, o.payloadIdx)
+		}
+		if o.filter != nil {
+			o.filter.Add(k0)
+		}
+	}
 }
 
 // String renders the operator.
@@ -336,7 +401,7 @@ type probeWO struct {
 
 func (w *probeWO) Inputs() []*storage.Block { return []*storage.Block{w.block} }
 
-func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	b := w.block
 	ht := o.build.HT()
@@ -346,7 +411,6 @@ func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.readCols))
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
-	defer em.Close()
 	ec := expr.Ctx{B: b, Scalars: ctx.Scalars}
 	sc, _ := o.scratch.Get().(*probeScratch)
 	if sc != nil {
@@ -398,6 +462,7 @@ func (w *probeWO) Run(ctx *core.ExecCtx, out *core.Output) {
 	if ctx.Sim != nil {
 		out.Sim += ctx.Sim.RandomProbes(int64(n), ht.UsedBytes())
 	}
+	return nil
 }
 
 // String renders the operator.

@@ -137,7 +137,7 @@ func (w *selectWO) Inputs() []*storage.Block {
 	return []*storage.Block{w.block}
 }
 
-func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	b := w.block
 	n := b.NumRows()
@@ -151,7 +151,6 @@ func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		}
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.out)
-	defer em.Close()
 	if o.pred == nil && len(o.lips) == 0 {
 		// Dense path: pure projection, no selection vector needed.
 		for r := 0; r < n; r++ {
@@ -161,7 +160,7 @@ func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
 				em.AppendRow(expr.EvalRow(o.projExprs, b, r, ctx.Scalars)...)
 			}
 		}
-		return
+		return nil
 	}
 	// Vectorized path: build a selection vector in pooled scratch, refine it
 	// through the LIP bloom filters, then materialize the survivors.
@@ -203,6 +202,7 @@ func (w *selectWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		// Bloom filters are small; probes are effectively L3-resident.
 		out.Sim += ctx.Sim.RandomProbes(lipProbes, o.lips[0].Build.Bloom().Bytes())
 	}
+	return nil
 }
 
 // String renders the operator for plan display.

@@ -81,7 +81,7 @@ type sortRow struct {
 	keys []types.Datum
 }
 
-func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) {
+func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
 	var rows []sortRow
 	ec := expr.Ctx{Scalars: ctx.Scalars}
@@ -122,11 +122,14 @@ func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) {
 		ident[i] = i
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.schema)
-	defer em.Close()
 	for _, r := range rows {
 		em.AppendFrom(o.blocks[r.blk], r.row, ident)
 	}
+	// Drop the buffered input only after the emit loop finished: an attempt
+	// aborted mid-emit (fault, deadline) keeps the blocks so the retry can
+	// re-read them.
 	o.blocks = nil
+	return nil
 }
 
 // String renders the operator.

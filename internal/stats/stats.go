@@ -66,6 +66,17 @@ type WorkOrder struct {
 	AggMergeFanout  int64 // radix-partition merge work orders
 	AggFastRows     int64 // rows through the vectorized fixed-width path
 	AggFallbackRows int64 // rows through the reference map path
+
+	// Robustness fields: which execution attempt this record is (1 = first)
+	// and whether the attempt failed. Failed attempts are rolled back by the
+	// scheduler, so their row and kernel counters are excluded from operator
+	// totals.
+	Attempt int
+	Failed  bool
+
+	// Demotions counts fast-path → reference-path operator demotions
+	// triggered by this work order.
+	Demotions int64
 }
 
 // Wall returns the wall-clock duration of the work order.
@@ -89,6 +100,11 @@ type OpTotals struct {
 	AggMergeFanout  int64
 	AggFastRows     int64
 	AggFallbackRows int64
+
+	// FailedAttempts counts rolled-back work-order attempts of the operator
+	// (they are included in Count and WallTotal — the time was spent — but
+	// not in the row or kernel counters).
+	FailedAttempts int
 }
 
 // AvgWall returns the mean wall-clock work-order time.
@@ -124,15 +140,109 @@ type Run struct {
 	// PoolCheckouts counts temporary-block checkouts, a proxy for storage
 	// management overhead at small block sizes.
 	PoolCheckouts int64
+
+	robust Robustness
+}
+
+// Robustness aggregates the fault-tolerance counters of one run: what the
+// injector fired, how the scheduler reacted (retries, deadline hits,
+// cancellations, degradations), and what the post-run invariant checker
+// found.
+type Robustness struct {
+	// FaultsInjected is the number of faults the injector fired (all
+	// kinds, latency included).
+	FaultsInjected int64
+	// FailedAttempts counts work-order attempts that returned an error and
+	// were rolled back.
+	FailedAttempts int64
+	// Retries counts transient failures that were re-dispatched.
+	Retries int64
+	// Demotions counts fast-path → reference-path operator demotions.
+	Demotions int64
+	// DeadlineHits counts attempts that exceeded the per-work-order
+	// deadline.
+	DeadlineHits int64
+	// Cancellations counts queued work orders dropped when the run failed
+	// or was canceled.
+	Cancellations int64
+	// UoTRaises counts producer-edge UoT raises under sustained memory
+	// pressure (the degradation ladder's last rung).
+	UoTRaises int64
+	// LeakedBlocks is the invariant checker's count of blocks still
+	// buffered on edges, held by operators, or checked in as partials
+	// after the run; OutstandingRefs is its count of live refcount
+	// entries. Both must be zero.
+	LeakedBlocks    int64
+	OutstandingRefs int64
+}
+
+// Robust returns a snapshot of the run's robustness counters.
+func (r *Run) Robust() Robustness {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.robust
+}
+
+// AddFaults adds n injector-fired faults to the snapshot (recorded once per
+// run from the injector's own counter).
+func (r *Run) AddFaults(n int64) {
+	r.mu.Lock()
+	r.robust.FaultsInjected += n
+	r.mu.Unlock()
+}
+
+// AddFailedAttempt records one rolled-back work-order attempt.
+func (r *Run) AddFailedAttempt() {
+	r.mu.Lock()
+	r.robust.FailedAttempts++
+	r.mu.Unlock()
+}
+
+// AddRetry records one transient failure re-dispatched by the scheduler.
+func (r *Run) AddRetry() {
+	r.mu.Lock()
+	r.robust.Retries++
+	r.mu.Unlock()
+}
+
+// AddDeadlineHit records one attempt that exceeded the work-order deadline.
+func (r *Run) AddDeadlineHit() {
+	r.mu.Lock()
+	r.robust.DeadlineHits++
+	r.mu.Unlock()
+}
+
+// AddCancellations records n work orders dropped by a failing or canceled
+// run.
+func (r *Run) AddCancellations(n int64) {
+	r.mu.Lock()
+	r.robust.Cancellations += n
+	r.mu.Unlock()
+}
+
+// AddUoTRaise records one producer-edge UoT raise under memory pressure.
+func (r *Run) AddUoTRaise() {
+	r.mu.Lock()
+	r.robust.UoTRaises++
+	r.mu.Unlock()
+}
+
+// SetLeaks records the invariant checker's post-run leak counts.
+func (r *Run) SetLeaks(blocks, refs int64) {
+	r.mu.Lock()
+	r.robust.LeakedBlocks = blocks
+	r.robust.OutstandingRefs = refs
+	r.mu.Unlock()
 }
 
 // NewRun returns an empty Run with the start time set to now.
 func NewRun() *Run { return &Run{start: time.Now()} }
 
-// Record appends a completed work order.
+// Record appends a completed work order (attempt).
 func (r *Run) Record(w WorkOrder) {
 	r.mu.Lock()
 	r.orders = append(r.orders, w)
+	r.robust.Demotions += w.Demotions
 	r.mu.Unlock()
 }
 
@@ -173,6 +283,12 @@ func (r *Run) PerOp() []OpTotals {
 		t.Count++
 		t.WallTotal += w.Wall()
 		t.SimTotal += w.Sim
+		if w.Failed {
+			// The attempt was rolled back: its time was spent but its
+			// output (and kernel work) does not count.
+			t.FailedAttempts++
+			continue
+		}
 		t.Rows += w.Rows
 		t.RowsOut += w.RowsOut
 		t.ShardLocks += w.ShardLocks

@@ -83,6 +83,20 @@ func (b *Block) Full() bool { return b.n >= b.capacity }
 // Reset empties the block for reuse without freeing its allocation.
 func (b *Block) Reset() { b.n = 0 }
 
+// Truncate drops rows from the end so the block holds exactly n rows (no-op
+// if it already holds fewer). Cell bytes beyond n are left in place and are
+// overwritten by subsequent appends; the scheduler uses this to roll a
+// resumed partial block back to its pre-attempt length after a failed work
+// order.
+func (b *Block) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if b.n > n {
+		b.n = n
+	}
+}
+
 // AllocBytes returns the size of the block's data allocation.
 func (b *Block) AllocBytes() int { return len(b.data) }
 

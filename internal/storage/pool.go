@@ -104,6 +104,20 @@ func (p *Pool) TakePartials(owner int) []*Block {
 	return ps
 }
 
+// PendingPartials returns the number of partially-filled blocks currently
+// checked in across all owners. After a run completes (or is cleaned up
+// after a failure) it must be zero; the scheduler's invariant checker uses
+// it to detect leaked partials.
+func (p *Pool) PendingPartials() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ps := range p.partial {
+		n += len(ps)
+	}
+	return n
+}
+
 // Release recycles a block whose contents are no longer needed (its consumer
 // operator finished). The allocation is kept for reuse but no longer counts
 // as live intermediate memory.

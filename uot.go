@@ -32,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/faults"
 	"repro/internal/memmodel"
 	"repro/internal/monet"
 	"repro/internal/storage"
@@ -145,6 +146,27 @@ func ExecuteMonetStyle(b *Builder, workers int) (*Result, error) {
 
 // Rows materializes a result table as datum rows.
 var Rows = engine.Rows
+
+// Fault-injection support (chaos testing): a deterministic, seeded injector
+// wired into Options.Faults fires errors, panics, latency, and allocation
+// failures at named execution sites; the scheduler rolls back and retries
+// transient failures, and operators degrade to their reference paths.
+type (
+	// FaultInjector decides, purely from (seed, site, sequence number),
+	// whether each consultation fires.
+	FaultInjector = faults.Injector
+	// FaultConfig configures an injector: seed, global and per-site rates,
+	// fault kinds, and the maximum injected latency.
+	FaultConfig = faults.Config
+	// FaultSite names an injection point (hash insert, bloom build, agg
+	// upsert, block materialize).
+	FaultSite = faults.Site
+	// FaultEvent is one fired fault in a replayable schedule.
+	FaultEvent = faults.Event
+)
+
+// NewFaultInjector returns an injector for cfg.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
 
 // TPCH is a loaded TPC-H dataset.
 type TPCH = tpch.Dataset
