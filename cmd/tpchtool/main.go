@@ -97,7 +97,7 @@ func runAndReport(b *engine.Builder, opts engine.Options, maxRows int) {
 		res.Run.WallTime().Round(10*time.Microsecond),
 		float64(res.Run.Intermediates.High())/(1<<20),
 		float64(res.Run.HashTables.High())/(1<<20),
-		res.Run.PoolCheckouts)
+		res.Run.Checkouts())
 
 	fmt.Printf("%-24s %6s %10s %10s %12s %12s\n", "operator", "tasks", "rows_in", "rows_out", "total_ms", "avg_task_us")
 	for _, op := range res.Run.PerOp() {

@@ -16,15 +16,27 @@
 // reference paths vs. the block-granular batch and aggregation kernels) and,
 // with -json, writes the machine-readable perf artifact that tracks kernel
 // throughput across PRs (BENCH_PR1.json, BENCH_PR2.json).
+//
+// -trace out.json attaches an execution tracer to the experiments that
+// support it (FIG2, FIG3) and writes the collected timeline as a Chrome
+// trace-event file (open in chrome://tracing or Perfetto; the FIG2 sections
+// visually render the paper's Fig. 2 interleaving-vs-blocking schedules).
+// -metrics out.json and -prom out.txt write the aggregate metrics snapshot
+// of the same tracer as JSON and Prometheus-style exposition text. Flags may
+// appear before or after experiment IDs: `uotbench FIG2 -trace fig2.json`
+// works.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,7 +48,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
 	jsonPath := flag.String("json", "", "with -micro: write the machine-readable results to this file")
-	flag.Parse()
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the traced experiments (FIG2, FIG3) to this file")
+	metricsPath := flag.String("metrics", "", "write the tracer's aggregate metrics snapshot as JSON to this file")
+	promPath := flag.String("prom", "", "write the tracer's aggregate metrics snapshot as Prometheus text to this file")
+	ids := parseInterleaved()
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -58,14 +73,20 @@ func main() {
 		return
 	}
 
+	var tr *trace.Tracer
+	if *tracePath != "" || *metricsPath != "" || *promPath != "" {
+		tr = trace.New(0)
+	}
+
 	h := bench.New(bench.Config{
 		SF: *sf, Workers: *workers, Runs: *runs, Best: *best, SimL3Bytes: *l3,
+		Trace: tr,
 	})
 
 	exps := bench.Experiments()
-	if args := flag.Args(); len(args) > 0 {
+	if len(ids) > 0 {
 		exps = exps[:0]
-		for _, id := range args {
+		for _, id := range ids {
 			e, err := bench.Find(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -88,4 +109,64 @@ func main() {
 		fmt.Println(rep.String())
 		fmt.Printf("(%s regenerated %s in %v)\n\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *tracePath != "" {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s\n", len(tr.Events()), *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := writeSnapshot(*metricsPath, tr.Snapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot (JSON) to %s\n", *metricsPath)
+	}
+	if *promPath != "" {
+		if err := writeSnapshot(*promPath, tr.Snapshot().WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics snapshot (Prometheus text) to %s\n", *promPath)
+	}
+}
+
+// writeSnapshot streams one snapshot encoding to path.
+func writeSnapshot(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseInterleaved parses os.Args allowing flags and positional experiment
+// IDs to interleave (the flag package stops at the first positional
+// argument, which would make `uotbench FIG2 -trace fig2.json` silently
+// ignore -trace). It repeatedly parses, peels off leading positionals, and
+// resumes parsing at the next flag.
+func parseInterleaved() []string {
+	flag.Parse()
+	var ids []string
+	rest := flag.Args()
+	for len(rest) > 0 {
+		i := 0
+		for i < len(rest) && (!strings.HasPrefix(rest[i], "-") || rest[i] == "-" || rest[i] == "--") {
+			ids = append(ids, rest[i])
+			i++
+		}
+		if i == len(rest) {
+			break
+		}
+		// flag.CommandLine uses ExitOnError: a bad flag exits with usage.
+		flag.CommandLine.Parse(rest[i:])
+		rest = flag.Args()
+	}
+	return ids
 }

@@ -49,7 +49,7 @@ func main() {
 		}
 		fmt.Printf("  wall %v | peak temp blocks %d B | peak hash tables %d B | pool checkouts %d\n\n",
 			res.Run.WallTime().Round(10*time.Microsecond),
-			res.Run.Intermediates.High(), res.Run.HashTables.High(), res.Run.PoolCheckouts)
+			res.Run.Intermediates.High(), res.Run.HashTables.High(), res.Run.Checkouts())
 	}
 }
 

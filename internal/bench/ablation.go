@@ -110,7 +110,7 @@ func (h *Harness) AblationBlockSize() (*Report, error) {
 				return nil, err
 			}
 			cells = append(cells, ms(dur))
-			checkouts = last.PoolCheckouts
+			checkouts = last.Checkouts()
 		}
 		r.AddRow(blockLabel(blockBytes), cells[0], cells[1],
 			fmt.Sprintf("%d", checkouts), fmt.Sprintf("%d", d.Lineitem.NumBlocks()))

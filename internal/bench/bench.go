@@ -27,6 +27,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the harness.
@@ -43,6 +44,11 @@ type Config struct {
 	// SimL3Bytes is the simulated L3 capacity (default 8 MB; 25 MB at SF 50
 	// scales to ~8 MB at SF 0.05 relative to table sizes).
 	SimL3Bytes int64
+	// Trace, if non-nil, collects execution traces from the experiments that
+	// support it (FIG2 schedule shapes, FIG3 operator breakdowns): each
+	// traced execution becomes one labeled section of the tracer, and
+	// cmd/uotbench -trace writes the result as a Chrome trace-event file.
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +216,16 @@ func (h *Harness) bestOf(fn func() (*stats.Run, error)) (time.Duration, *stats.R
 		sum += d
 	}
 	return sum / time.Duration(h.cfg.Best), last, nil
+}
+
+// traced attaches the harness tracer (if any) to an execution's options,
+// labeling its trace section.
+func (h *Harness) traced(o engine.Options, label string) engine.Options {
+	if h.cfg.Trace.Enabled() {
+		o.Trace = h.cfg.Trace
+		o.TraceLabel = label
+	}
+	return o
 }
 
 // run executes a TPC-H query once with the given options.

@@ -27,9 +27,9 @@ func (h *Harness) Fig2Schedules() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.Execute(b, engine.Options{
+		res, err := engine.Execute(b, h.traced(engine.Options{
 			Workers: 2, UoTBlocks: uot, TempBlockBytes: 128 << 10,
-		})
+		}, fmt.Sprintf("FIG2 Q3 uot=%d", uot)))
 		if err != nil {
 			return nil, err
 		}

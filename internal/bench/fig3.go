@@ -26,9 +26,9 @@ func (h *Harness) Fig3OperatorBreakdown() (*Report, error) {
 	}
 	d := h.Dataset(2<<20, storage.ColumnStore)
 	for _, num := range tpch.Numbers() {
-		res, err := h.run(d, num, engine.Options{
+		res, err := h.run(d, num, h.traced(engine.Options{
 			Workers: h.cfg.Workers, UoTBlocks: core.UoTTable, TempBlockBytes: 2 << 20,
-		}, tpch.QueryOpts{})
+		}, fmt.Sprintf("FIG3 Q%02d", num)), tpch.QueryOpts{})
 		if err != nil {
 			return nil, err
 		}

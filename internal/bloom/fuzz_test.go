@@ -1,0 +1,67 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBloom checks the filter's two core invariants over arbitrary key sets
+// and sizings:
+//
+//   - no false negatives: every added key reports MayContain == true;
+//   - Add and AddMany are bit-identical: inserting the same keys one at a
+//     time or as a batch must produce exactly the same filter words (the
+//     batch path coalesces atomics but may not change semantics).
+//
+// It lives in the bloom package (not bloom_test) to compare the private
+// word arrays directly. Run as a fuzzer with
+// `go test ./internal/bloom -fuzz FuzzBloom`.
+func FuzzBloom(f *testing.F) {
+	f.Add([]byte{}, 1, 10)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8, 10)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, 100, 1)
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, 0, 0) // dup keys, degenerate sizing
+	f.Fuzz(func(t *testing.T, data []byte, n int, bitsPerKey int) {
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		if bitsPerKey > 64 {
+			bitsPerKey = 64
+		}
+		keys := make([]int64, 0, len(data)/8+1)
+		for len(data) >= 8 {
+			keys = append(keys, int64(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		}
+		if len(data) > 0 { // tail bytes become one more key
+			var buf [8]byte
+			copy(buf[:], data)
+			keys = append(keys, int64(binary.LittleEndian.Uint64(buf[:])))
+		}
+
+		one := New(n, bitsPerKey)
+		batch := New(n, bitsPerKey)
+		if len(one.blocks) != len(batch.blocks) || one.mask != batch.mask || one.k != batch.k {
+			t.Fatalf("same sizing produced different geometry: %d/%d words", len(one.blocks), len(batch.blocks))
+		}
+		for _, k := range keys {
+			one.Add(k)
+		}
+		batch.AddMany(keys)
+
+		for i := range one.blocks {
+			if one.blocks[i] != batch.blocks[i] {
+				t.Fatalf("word %d differs: Add=%#x AddMany=%#x (%d keys, n=%d bpk=%d)",
+					i, one.blocks[i], batch.blocks[i], len(keys), n, bitsPerKey)
+			}
+		}
+		for _, k := range keys {
+			if !one.MayContain(k) {
+				t.Fatalf("false negative from Add for key %d", k)
+			}
+			if !batch.MayContain(k) {
+				t.Fatalf("false negative from AddMany for key %d", k)
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -59,6 +60,12 @@ type ExecCtx struct {
 	// policy). Under sustained pressure the scheduler raises the UoT on the
 	// held producer's out-edges instead of stalling indefinitely.
 	MemoryBudget int64
+
+	// Trace, if non-nil, receives work-order span events, per-edge gauge
+	// samples, and scheduler annotations (see internal/trace). A nil tracer
+	// is fully disabled: every recording call is a nil-check no-op and the
+	// scheduler takes no timestamps beyond what it already takes.
+	Trace *trace.Tracer
 
 	// Ctx, if non-nil, cancels the whole run: the scheduler stops
 	// dispatching, drops queued work orders, and emitters abort in-flight

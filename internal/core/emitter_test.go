@@ -81,8 +81,8 @@ func TestEmitterCloseWithNoRowsReleasesBlock(t *testing.T) {
 	if len(ctx.Pool.TakePartials(3)) != 0 {
 		t.Fatal("no partials expected")
 	}
-	if ctx.Run.PoolCheckouts != 0 {
-		t.Fatalf("checkouts = %d", ctx.Run.PoolCheckouts)
+	if ctx.Run.Checkouts() != 0 {
+		t.Fatalf("checkouts = %d", ctx.Run.Checkouts())
 	}
 }
 

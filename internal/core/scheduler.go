@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -46,6 +50,11 @@ type job struct {
 	// dispatch); notBefore delays re-dispatch for retry backoff.
 	attempt   int
 	notBefore time.Time
+	// Tracing annotations (zero when tracing is disabled): when the job
+	// entered the queue and which UoT delivery batch fed it (-1 for work
+	// orders not born from an edge delivery).
+	enqueueNS int64
+	batch     int64
 }
 
 type wres struct {
@@ -57,6 +66,9 @@ type wres struct {
 	worker  int
 	attempt int // 1-based: attempts completed including this one
 	err     error
+	// enqueueNS/batch are carried through from the job for span events.
+	enqueueNS int64
+	batch     int64
 }
 
 type edgeState struct {
@@ -65,6 +77,12 @@ type edgeState struct {
 	buf          []*storage.Block
 	producerDone bool
 	delivered    bool // inputsOpen decremented at consumer
+	// Tracing state: the edge's id in the tracer, the per-edge UoT delivery
+	// counter (batch ids), and when buf last went non-empty (for stall-time
+	// gauges; 0 while empty).
+	id       int32
+	batches  int64
+	bufSince int64
 }
 
 type opState struct {
@@ -134,6 +152,23 @@ func (s *sched) build(defaultUoT int) {
 	}
 	for slot, op := range s.plan.ScalarSlots {
 		s.states[op].scalarSlots = append(s.states[op].scalarSlots, slot)
+	}
+	if tr := s.ctx.Trace; tr.Enabled() {
+		tr.SetWorkers(s.ctx.Workers)
+		for i, st := range s.states {
+			tr.RegisterOp(i, st.op.Name())
+		}
+		for i, es := range s.edges {
+			es.id = int32(i)
+			tr.RegisterEdge(i, trace.EdgeInfo{
+				From: int(es.e.From), To: int(es.e.To),
+				FromName:  s.states[es.e.From].op.Name(),
+				ToName:    s.states[es.e.To].op.Name(),
+				Input:     es.e.ToInput,
+				Pipelined: es.e.Kind == Pipelined,
+				UoT:       es.uot,
+			})
+		}
 	}
 	// Operator depth orders dispatch: a consumer's work orders take
 	// priority over queued producer work orders, so with a low UoT a
@@ -229,6 +264,7 @@ func (s *sched) run() error {
 	}
 	s.cleanup()
 	s.checkInvariants()
+	s.ctx.Trace.EndRun(s.runErr != nil)
 	return s.runErr
 }
 
@@ -367,8 +403,13 @@ func (s *sched) raiseUoT(st *opState) {
 		}
 		raised = true
 	}
-	if raised && s.ctx.Run != nil {
-		s.ctx.Run.AddUoTRaise()
+	if raised {
+		if s.ctx.Run != nil {
+			s.ctx.Run.AddUoTRaise()
+		}
+		s.ctx.Trace.Mark(trace.MarkUoTRaise, trace.Event{
+			Op: int32(st.id), StartNS: s.ctx.Trace.Now(),
+		})
 	}
 }
 
@@ -389,6 +430,11 @@ func (s *sched) producesBlocks(id OpID) bool {
 }
 
 func (s *sched) worker(id int) {
+	// Label the worker goroutine so CPU/goroutine profiles attribute samples
+	// to scheduler workers (`go tool pprof` tag filter "uot_worker").
+	defer pprof.SetGoroutineLabels(context.Background())
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("uot_worker", strconv.Itoa(id))))
 	lastOp := OpID(-1)
 	for j := range s.dispatch {
 		out := &Output{}
@@ -406,7 +452,8 @@ func (s *sched) worker(id int) {
 		} else {
 			err = runSafely(j.wo, s.ctx, out, start)
 		}
-		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id, attempt: j.attempt + 1, err: err}
+		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id,
+			attempt: j.attempt + 1, err: err, enqueueNS: j.enqueueNS, batch: j.batch}
 	}
 }
 
@@ -504,16 +551,44 @@ func (s *sched) onComplete(r wres) {
 			Demotions: r.out.Demotions,
 		})
 	}
+	if tr := s.ctx.Trace; tr.Enabled() {
+		var flags uint8
+		if r.err != nil {
+			flags |= trace.FlagFailed
+		}
+		if retry {
+			flags |= trace.FlagRetried
+		}
+		tr.Span(trace.Event{
+			Op:        int32(r.op),
+			Worker:    int32(r.worker),
+			Attempt:   int32(r.attempt),
+			Batch:     r.batch,
+			Flags:     flags,
+			EnqueueNS: r.enqueueNS,
+			StartNS:   tr.Since(r.start),
+			EndNS:     tr.Since(r.end),
+			Rows:      r.out.RowsIn,
+			RowsOut:   r.out.RowsOut,
+			Demotions: r.out.Demotions,
+		})
+	}
 	if retry {
 		// The attempt was rolled back by runSafely; the inputs stay held
 		// and the same work order re-dispatches after backoff.
 		if s.ctx.Run != nil {
 			s.ctx.Run.AddRetry()
 		}
+		s.ctx.Trace.Mark(trace.MarkRetry, trace.Event{
+			Op: int32(r.op), Attempt: int32(r.attempt), Batch: r.batch,
+			StartNS: s.ctx.Trace.Now(),
+		})
 		s.queue = append(s.queue, job{
 			op: r.op, wo: r.wo,
 			attempt:   r.attempt,
 			notBefore: now().Add(s.retryBackoff(r.attempt)),
+			enqueueNS: s.ctx.Trace.Now(),
+			batch:     r.batch,
 		})
 		st.queued++
 		return
@@ -571,22 +646,35 @@ func (s *sched) emit(st *opState, blocks []*storage.Block) {
 	}
 }
 
-// tryFlush hands buffered blocks to the consumer in UoT-sized groups.
+// tryFlush hands buffered blocks to the consumer in UoT-sized groups. When
+// tracing is enabled every transition ends with a gauge sample of the edge
+// (buffered blocks vs. the UoT threshold, scheduler queue depth, stall time
+// of the drained blocks, and memory-pool occupancy).
 func (s *sched) tryFlush(es *edgeState) {
+	traced := es.e.Kind == Pipelined && s.ctx.Trace.Enabled()
+	delivered := 0
 	c := s.states[es.e.To]
 	if !c.started {
+		if traced {
+			if len(es.buf) > 0 && es.bufSince == 0 {
+				es.bufSince = s.ctx.Trace.Now()
+			}
+			s.sampleEdge(es, 0, 0)
+		}
 		return
 	}
 	for es.uot != UoTTable && len(es.buf) >= es.uot {
 		chunk := es.buf[:es.uot:es.uot]
 		es.buf = es.buf[es.uot:]
-		s.deliver(c, es.e.ToInput, chunk)
+		delivered += len(chunk)
+		s.deliver(c, es, chunk)
 	}
 	if es.producerDone {
 		if len(es.buf) > 0 {
 			chunk := es.buf
 			es.buf = nil
-			s.deliver(c, es.e.ToInput, chunk)
+			delivered += len(chunk)
+			s.deliver(c, es, chunk)
 		}
 		if !es.delivered {
 			es.delivered = true
@@ -594,9 +682,41 @@ func (s *sched) tryFlush(es *edgeState) {
 			s.check(c)
 		}
 	}
+	if traced {
+		var stall int64
+		nowNS := s.ctx.Trace.Now()
+		if delivered > 0 && es.bufSince > 0 {
+			// How long the just-drained blocks waited buffered behind the
+			// UoT threshold before the consumer could see them.
+			stall = nowNS - es.bufSince
+		}
+		if len(es.buf) == 0 {
+			es.bufSince = 0
+		} else if delivered > 0 || es.bufSince == 0 {
+			es.bufSince = nowNS
+		}
+		s.sampleEdge(es, delivered, stall)
+	}
 }
 
-func (s *sched) deliver(c *opState, input int, blocks []*storage.Block) {
+// sampleEdge records one per-edge gauge sample (tracing enabled only).
+func (s *sched) sampleEdge(es *edgeState, delivered int, stallNS int64) {
+	var pool int64
+	if s.ctx.Run != nil {
+		pool = s.ctx.Run.Intermediates.Live()
+	}
+	s.ctx.Trace.Edge(trace.Event{
+		Edge:       es.id,
+		StartNS:    s.ctx.Trace.Now(),
+		Buffered:   int32(len(es.buf)),
+		UoT:        int64(es.uot),
+		QueueDepth: int32(len(s.queue)),
+		StallNS:    stallNS,
+		PoolBytes:  pool,
+	}, delivered)
+}
+
+func (s *sched) deliver(c *opState, es *edgeState, blocks []*storage.Block) {
 	if !c.op.AdoptsInputs() {
 		for _, b := range blocks {
 			if _, ok := s.rc[b]; ok {
@@ -604,15 +724,26 @@ func (s *sched) deliver(c *opState, input int, blocks []*storage.Block) {
 			}
 		}
 	}
-	s.enqueue(c, c.op.Feed(s.ctx, input, blocks))
+	es.batches++
+	s.enqueueBatch(c, c.op.Feed(s.ctx, es.e.ToInput, blocks), es.batches-1)
 }
 
 func (s *sched) enqueue(st *opState, wos []WorkOrder) {
+	s.enqueueBatch(st, wos, -1)
+}
+
+// enqueueBatch queues work orders annotated with the UoT delivery batch that
+// produced them (-1 for Start/Final work orders).
+func (s *sched) enqueueBatch(st *opState, wos []WorkOrder, batch int64) {
 	if s.runErr != nil {
 		return
 	}
+	var enq int64
+	if s.ctx.Trace.Enabled() {
+		enq = s.ctx.Trace.Now()
+	}
 	for _, wo := range wos {
-		s.queue = append(s.queue, job{op: st.id, wo: wo})
+		s.queue = append(s.queue, job{op: st.id, wo: wo, enqueueNS: enq, batch: batch})
 	}
 	st.queued += len(wos)
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -66,6 +67,14 @@ type Options struct {
 	// point abort (transiently, so they retry); completed overruns are
 	// recorded in the run's robustness counters.
 	WorkOrderDeadline time.Duration
+	// Trace, if non-nil, collects this execution's observability events —
+	// per-work-order spans, per-edge gauge samples, scheduler annotations —
+	// into the tracer's ring buffer (see internal/trace). One tracer may be
+	// shared across executions; each one becomes its own trace section.
+	// A nil tracer costs nothing (no timestamps, no allocations).
+	Trace *trace.Tracer
+	// TraceLabel names this execution's section in the trace ("Q3 uot=4").
+	TraceLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +107,7 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 	if opts.NoPoolRecycle {
 		pool.DisableRecycling()
 	}
+	opts.Trace.StartRun(opts.TraceLabel)
 	ctx := &core.ExecCtx{
 		Pool:           pool,
 		Sim:            opts.Sim,
@@ -106,6 +116,7 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		TempFormat:     opts.TempFormat,
 		Workers:        opts.Workers,
 		MemoryBudget:   opts.MemoryBudget,
+		Trace:          opts.Trace,
 		Ctx:            opts.Context,
 		Faults:         opts.Faults,
 		MaxAttempts:    opts.MaxAttempts,

@@ -363,7 +363,7 @@ func TestMemoryGaugesTrackHashTablesAndIntermediates(t *testing.T) {
 	if res.Run.HashTables.Live() != 0 {
 		t.Errorf("hash-table live after run = %d, want 0 (all released)", res.Run.HashTables.Live())
 	}
-	if res.Run.PoolCheckouts <= 0 {
+	if res.Run.Checkouts() <= 0 {
 		t.Error("pool checkouts should be counted")
 	}
 }

@@ -1,0 +1,217 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// FuzzExprEval drives a typed stack machine over the fuzz input to build
+// arbitrary well-typed expression trees, then checks the evaluator's
+// invariants on every row of a block:
+//
+//   - Eval never panics on a well-typed tree;
+//   - the evaluated datum's type matches the tree's static Type();
+//   - boolean-valued operators return exactly 0 or 1;
+//   - evaluation is deterministic (same row, same result);
+//   - FilterBlock agrees with row-at-a-time evaluation for predicates.
+//
+// Run as a fuzzer with `go test ./internal/expr -fuzz FuzzExprEval`; in
+// normal test runs it replays the seed corpus.
+func FuzzExprEval(f *testing.F) {
+	f.Add([]byte{0, 3, 7, 7}, int64(42), -1.5)
+	f.Add([]byte{0, 1, 6, 0, 6, 1, 6, 2, 6, 3}, int64(7), 0.0)
+	f.Add([]byte{2, 14, 2, 7, 5, 12, 8, 9, 10}, int64(-9), math.MaxFloat64)
+	f.Add([]byte{13, 13, 7, 0, 3, 11, 15}, int64(0), math.NaN())
+	f.Fuzz(func(t *testing.T, program []byte, seedI int64, seedF float64) {
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		schema := storage.NewSchema(
+			storage.Column{Name: "i", Type: types.Int64},
+			storage.Column{Name: "f", Type: types.Float64},
+			storage.Column{Name: "c", Type: types.Char, Width: 8},
+		)
+		b := storage.NewBlock(schema, storage.ColumnStore, 4*schema.RowWidth())
+		for r := 0; r < 4; r++ {
+			b.AppendRow(
+				types.NewInt64(seedI+int64(r)*3-1),
+				types.NewFloat64(seedF*float64(r)),
+				types.NewString(string(rune('a'+r))+"xyzw"),
+			)
+		}
+
+		exprs := interpret(program, schema)
+		for _, e := range exprs {
+			ty := e.Type()
+			_ = e.String() // must not panic either
+			c := Ctx{B: b}
+			for r := 0; r < b.NumRows(); r++ {
+				c.Row = r
+				d1 := e.Eval(&c)
+				d2 := e.Eval(&c)
+				if d1.Ty != ty {
+					t.Fatalf("%s: Eval type %v, static Type %v", e, d1.Ty, ty)
+				}
+				if !sameDatum(d1, d2) {
+					t.Fatalf("%s: non-deterministic: %v then %v", e, d1, d2)
+				}
+				if isBoolean(e) && d1.I != 0 && d1.I != 1 {
+					t.Fatalf("%s: boolean value %d", e, d1.I)
+				}
+			}
+			// Predicates: the vectorized filter must agree with Eval.
+			if ty == types.Int64 {
+				got := FilterBlock(e, b, nil, nil)
+				var want []int32
+				for r := 0; r < b.NumRows(); r++ {
+					c.Row = r
+					if e.Eval(&c).I != 0 {
+						want = append(want, int32(r))
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: FilterBlock %v, row-at-a-time %v", e, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: FilterBlock %v, row-at-a-time %v", e, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// interpret builds well-typed expressions from the program bytes with a
+// stack machine; ill-typed opcodes are skipped, so every input maps to some
+// (possibly empty) set of trees.
+func interpret(program []byte, schema *storage.Schema) []Expr {
+	var stack []Expr
+	pop := func() Expr {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e
+	}
+	numeric := func(e Expr) bool {
+		return e.Type() == types.Int64 || e.Type() == types.Float64
+	}
+	next := func(i *int) byte {
+		if *i >= len(program) {
+			return 0
+		}
+		v := program[*i]
+		*i++
+		return v
+	}
+	for i := 0; i < len(program); {
+		op := next(&i)
+		switch op % 16 {
+		case 0:
+			stack = append(stack, ColIdx(schema, 0))
+		case 1:
+			stack = append(stack, ColIdx(schema, 1))
+		case 2:
+			stack = append(stack, ColIdx(schema, 2))
+		case 3:
+			stack = append(stack, Int(int64(int8(next(&i)))))
+		case 4:
+			stack = append(stack, Float(float64(int8(next(&i)))/4))
+		case 5:
+			stack = append(stack, Str(string([]byte{next(&i)%26 + 'a', 'x'})))
+		case 6:
+			if len(stack) >= 2 && numeric(stack[len(stack)-1]) && numeric(stack[len(stack)-2]) {
+				r, l := pop(), pop()
+				stack = append(stack, Arith(ArithOp(next(&i)%4), l, r))
+			}
+		case 7:
+			if len(stack) >= 2 {
+				a, b := stack[len(stack)-1], stack[len(stack)-2]
+				bothNum := numeric(a) && numeric(b)
+				bothChar := a.Type() == types.Char && b.Type() == types.Char
+				bothDate := a.Type() == types.Date && b.Type() == types.Date
+				if bothNum || bothChar || bothDate {
+					r, l := pop(), pop()
+					stack = append(stack, Cmp(CmpOp(next(&i)%6), l, r))
+				}
+			}
+		case 8:
+			if len(stack) >= 2 && stack[len(stack)-1].Type() == types.Int64 && stack[len(stack)-2].Type() == types.Int64 {
+				r, l := pop(), pop()
+				stack = append(stack, And(l, r))
+			}
+		case 9:
+			if len(stack) >= 2 && stack[len(stack)-1].Type() == types.Int64 && stack[len(stack)-2].Type() == types.Int64 {
+				r, l := pop(), pop()
+				stack = append(stack, Or(l, r))
+			}
+		case 10:
+			if len(stack) >= 1 && stack[len(stack)-1].Type() == types.Int64 {
+				stack = append(stack, Not(pop()))
+			}
+		case 11:
+			if len(stack) >= 3 && numeric(stack[len(stack)-1]) && numeric(stack[len(stack)-2]) && numeric(stack[len(stack)-3]) {
+				hi, lo, x := pop(), pop(), pop()
+				stack = append(stack, Between(x, lo, hi))
+			}
+		case 12:
+			if len(stack) >= 1 {
+				x := pop()
+				var list []types.Datum
+				for n := int(next(&i)%3) + 1; n > 0; n-- {
+					switch x.Type() {
+					case types.Float64:
+						list = append(list, types.NewFloat64(float64(int8(next(&i)))))
+					case types.Char:
+						list = append(list, types.NewString(string([]byte{next(&i)%26 + 'a', 'x'})))
+					default:
+						list = append(list, types.NewInt64(int64(int8(next(&i)))))
+					}
+				}
+				stack = append(stack, In(x, list...))
+			}
+		case 13:
+			stack = append(stack, Const(types.NewDate(int32(int16(next(&i)))*37)))
+		case 14:
+			if len(stack) >= 1 && stack[len(stack)-1].Type() == types.Char {
+				stack = append(stack, Substr(pop(), int(next(&i)%6), int(next(&i)%6)))
+			} else if len(stack) >= 1 && stack[len(stack)-1].Type() == types.Date {
+				stack = append(stack, Year(pop()))
+			}
+		case 15:
+			if len(stack) >= 3 && stack[len(stack)-3].Type() == types.Int64 &&
+				stack[len(stack)-1].Type() == stack[len(stack)-2].Type() {
+				els, then, cond := pop(), pop(), pop()
+				stack = append(stack, Case(els, When{Cond: cond, Then: then}))
+			}
+		}
+		if len(stack) > 32 {
+			break
+		}
+	}
+	return stack
+}
+
+// isBoolean reports whether the root operator is boolean-valued by
+// construction.
+func isBoolean(e Expr) bool {
+	switch e.(type) {
+	case *CmpExpr, *AndExpr, *OrExpr, *NotExpr, *InExpr:
+		return true
+	}
+	return false
+}
+
+// sameDatum is exact equality including NaN == NaN (determinism check, not
+// SQL comparison).
+func sameDatum(a, b types.Datum) bool {
+	if a.Ty != b.Ty || a.I != b.I {
+		return false
+	}
+	if a.F != b.F && !(math.IsNaN(a.F) && math.IsNaN(b.F)) {
+		return false
+	}
+	return string(a.B) == string(b.B)
+}

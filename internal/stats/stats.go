@@ -137,9 +137,13 @@ type Run struct {
 	HashTables    MemGauge
 	Intermediates MemGauge
 
-	// PoolCheckouts counts temporary-block checkouts, a proxy for storage
-	// management overhead at small block sizes.
-	PoolCheckouts int64
+	// poolCheckouts counts temporary-block checkouts, a proxy for storage
+	// management overhead at small block sizes. It is written with atomics
+	// from worker goroutines and must only be read through Checkouts();
+	// it was previously an exported field read without synchronization,
+	// which is a torn read on 32-bit targets and a data race everywhere
+	// when a metrics snapshot runs concurrently with the query.
+	poolCheckouts int64
 
 	robust Robustness
 }
@@ -247,13 +251,24 @@ func (r *Run) Record(w WorkOrder) {
 }
 
 // AddCheckout bumps the pool-checkout counter.
-func (r *Run) AddCheckout() { atomic.AddInt64(&r.PoolCheckouts, 1) }
+func (r *Run) AddCheckout() { atomic.AddInt64(&r.poolCheckouts, 1) }
+
+// Checkouts returns the pool-checkout count; safe to call while workers are
+// still recording.
+func (r *Run) Checkouts() int64 { return atomic.LoadInt64(&r.poolCheckouts) }
 
 // Finish stamps the end of the run.
-func (r *Run) Finish() { r.end = time.Now() }
+func (r *Run) Finish() {
+	r.mu.Lock()
+	r.end = time.Now()
+	r.mu.Unlock()
+}
 
 // WallTime returns the total run duration (now, if Finish was not called).
+// Safe to call concurrently with Finish (a mid-run metrics snapshot).
 func (r *Run) WallTime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.end.IsZero() {
 		return time.Since(r.start)
 	}

@@ -130,8 +130,8 @@ func TestRunConcurrentRecord(t *testing.T) {
 	if got := len(r.Orders()); got != 4000 {
 		t.Fatalf("orders = %d", got)
 	}
-	if r.PoolCheckouts != 4000 {
-		t.Fatalf("checkouts = %d", r.PoolCheckouts)
+	if r.Checkouts() != 4000 {
+		t.Fatalf("checkouts = %d", r.Checkouts())
 	}
 	var rows int64
 	for _, op := range r.PerOp() {

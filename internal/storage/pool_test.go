@@ -124,8 +124,8 @@ func TestPoolCheckoutHookAndConcurrency(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if run.PoolCheckouts != workers*per {
-		t.Fatalf("checkouts = %d, want %d", run.PoolCheckouts, workers*per)
+	if run.Checkouts() != workers*per {
+		t.Fatalf("checkouts = %d, want %d", run.Checkouts(), workers*per)
 	}
 }
 

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metrics is a machine-readable snapshot of the tracer's aggregates. Unlike
+// the event ring, the aggregates are exact: they are maintained outside the
+// ring and survive event overwrites.
+type Metrics struct {
+	// CapturedEvents is how many events the ring currently retains;
+	// DroppedEvents how many were overwritten after it filled.
+	CapturedEvents int          `json:"captured_events"`
+	DroppedEvents  int64        `json:"dropped_events"`
+	Runs           []RunMetrics `json:"runs"`
+}
+
+// RunMetrics aggregates one traced section.
+type RunMetrics struct {
+	Run     int    `json:"run"`
+	Label   string `json:"label,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// WallNS is the section's duration (0 if EndRun was not called).
+	WallNS int64         `json:"wall_ns"`
+	Failed bool          `json:"failed,omitempty"`
+	Ops    []OpMetrics   `json:"ops"`
+	Edges  []EdgeMetrics `json:"edges"`
+}
+
+// OpMetrics aggregates one operator's work-order spans.
+type OpMetrics struct {
+	Op        int    `json:"op"`
+	Name      string `json:"name"`
+	Spans     int64  `json:"spans"`     // completed attempts, failures included
+	Failed    int64  `json:"failed"`    // rolled-back attempts
+	Retries   int64  `json:"retries"`   // failed attempts that were re-dispatched
+	Rows      int64  `json:"rows_in"`   // input rows of successful attempts
+	RowsOut   int64  `json:"rows_out"`  // output rows of successful attempts
+	BusyNS    int64  `json:"busy_ns"`   // summed attempt wall time
+	QueueNS   int64  `json:"queue_ns"`  // summed enqueue→start latency
+	Demotions int64  `json:"demotions"` // fast-path → reference-path demotions
+}
+
+// EdgeMetrics aggregates one pipelined edge's gauge samples.
+type EdgeMetrics struct {
+	Edge        int    `json:"edge"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Input       int    `json:"input"`
+	Pipelined   bool   `json:"pipelined"`
+	UoT         int64  `json:"uot"`          // current threshold (raises observable here)
+	Samples     int64  `json:"samples"`      // gauge samples taken
+	Batches     int64  `json:"batches"`      // UoT deliveries to the consumer
+	Blocks      int64  `json:"blocks"`       // blocks delivered
+	MaxBuffered int32  `json:"max_buffered"` // high-water buffered blocks
+	StallNS     int64  `json:"stall_ns"`     // summed buffered-wait before delivery
+}
+
+// Snapshot returns the current metrics. Safe to call mid-run and on nil
+// (empty snapshot).
+func (t *Tracer) Snapshot() Metrics {
+	if t == nil {
+		return Metrics{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := Metrics{CapturedEvents: t.n, DroppedEvents: t.dropped}
+	for _, r := range t.runs {
+		rm := RunMetrics{Run: int(r.pid), Label: r.label, Workers: r.workers, Failed: r.failed}
+		if r.endNS > r.beginNS {
+			rm.WallNS = r.endNS - r.beginNS
+		}
+		for id, name := range r.ops {
+			a := r.opAggs[id]
+			rm.Ops = append(rm.Ops, OpMetrics{
+				Op: id, Name: name, Spans: a.spans, Failed: a.failed, Retries: a.retries,
+				Rows: a.rows, RowsOut: a.rowsOut, BusyNS: a.busyNS, QueueNS: a.queueNS,
+				Demotions: a.demotions,
+			})
+		}
+		for id, info := range r.edges {
+			a := r.edgeAgg[id]
+			rm.Edges = append(rm.Edges, EdgeMetrics{
+				Edge: id, From: info.FromName, To: info.ToName, Input: info.Input,
+				Pipelined: info.Pipelined, UoT: a.lastUoT, Samples: a.samples,
+				Batches: a.batches, Blocks: a.blocks, MaxBuffered: a.maxBuffered,
+				StallNS: a.stallNS,
+			})
+		}
+		m.Runs = append(m.Runs, rm)
+	}
+	return m
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (one sample per run/operator or run/edge label set).
+func (m Metrics) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("# HELP uot_trace_dropped_events Events overwritten after the trace ring filled.\n")
+	sb.WriteString("# TYPE uot_trace_dropped_events counter\n")
+	fmt.Fprintf(&sb, "uot_trace_dropped_events %d\n", m.DroppedEvents)
+
+	emit := func(name, help, typ string, rows func(run RunMetrics, add func(labels string, v int64))) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, run := range m.Runs {
+			lbl := promEscape(run.Label)
+			rows(run, func(labels string, v int64) {
+				fmt.Fprintf(&sb, "%s{run=%q,%s} %d\n", name, lbl, labels, v)
+			})
+		}
+	}
+	emit("uot_workorders_total", "Completed work-order attempts per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.Spans)
+			}
+		})
+	emit("uot_workorder_failures_total", "Rolled-back work-order attempts per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.Failed)
+			}
+		})
+	emit("uot_workorder_retries_total", "Re-dispatched transient failures per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.Retries)
+			}
+		})
+	emit("uot_op_busy_nanoseconds_total", "Summed work-order wall time per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.BusyNS)
+			}
+		})
+	emit("uot_op_queue_nanoseconds_total", "Summed enqueue-to-start latency per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.QueueNS)
+			}
+		})
+	emit("uot_op_rows_out_total", "Output rows of successful attempts per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.RowsOut)
+			}
+		})
+	edgeLabel := func(e EdgeMetrics) string {
+		return fmt.Sprintf("edge=%q", promEscape(fmt.Sprintf("%s->%s#%d", e.From, e.To, e.Input)))
+	}
+	emit("uot_edge_batches_total", "UoT-sized deliveries per pipelined edge.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, e := range run.Edges {
+				if e.Pipelined {
+					add(edgeLabel(e), e.Batches)
+				}
+			}
+		})
+	emit("uot_edge_blocks_total", "Blocks delivered per pipelined edge.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, e := range run.Edges {
+				if e.Pipelined {
+					add(edgeLabel(e), e.Blocks)
+				}
+			}
+		})
+	emit("uot_edge_buffered_max_blocks", "High-water buffered blocks per pipelined edge.", "gauge",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, e := range run.Edges {
+				if e.Pipelined {
+					add(edgeLabel(e), int64(e.MaxBuffered))
+				}
+			}
+		})
+	emit("uot_edge_stall_nanoseconds_total", "Summed buffered-wait before delivery per pipelined edge.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, e := range run.Edges {
+				if e.Pipelined {
+					add(edgeLabel(e), e.StallNS)
+				}
+			}
+		})
+	emit("uot_edge_uot_blocks", "Current UoT threshold per pipelined edge (raises observable).", "gauge",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, e := range run.Edges {
+				if e.Pipelined {
+					add(edgeLabel(e), e.UoT)
+				}
+			}
+		})
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

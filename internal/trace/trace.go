@@ -1,0 +1,403 @@
+// Package trace is the execution observability layer: a fixed-capacity
+// ring-buffer sink for scheduler events that makes the paper's central
+// artifact — the realized work-order schedule — directly observable instead
+// of reconstructed from logs.
+//
+// Three event kinds are recorded:
+//
+//   - spans: one per completed work-order attempt, carrying the operator,
+//     worker, attempt number, UoT batch id, and the enqueue/start/finish
+//     timestamps, plus the retry/demotion annotations of the fault path;
+//   - edge samples: per-pipelined-edge gauges taken on scheduler
+//     transitions — buffered blocks vs. the UoT threshold, scheduler queue
+//     depth, accumulated stall time, and memory-pool occupancy;
+//   - marks: instant annotations (retry scheduled, UoT raised under memory
+//     pressure, run finished).
+//
+// The sink must never perturb what it measures: every recording method is
+// safe on a nil *Tracer and allocates nothing — events are fixed-width
+// structs copied by value into a preallocated ring (alloc_test.go asserts
+// 0 allocs/op on both the disabled and the enabled path). When the ring
+// fills, the oldest events are overwritten and counted as dropped; the
+// aggregate metrics (see Snapshot) are maintained outside the ring and stay
+// exact regardless.
+//
+// Exports: WriteChromeTrace renders the timeline as a Chrome trace-event
+// JSON file (load in chrome://tracing or Perfetto to see the Fig. 2
+// interleaving-vs-blocking schedule shapes); Snapshot returns a
+// machine-readable metrics snapshot serializable as JSON or Prometheus-style
+// text.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSpan is one completed work-order attempt.
+	KindSpan Kind = iota + 1
+	// KindEdge is a per-edge gauge sample taken on a scheduler transition.
+	KindEdge
+	// KindMark is an instant annotation.
+	KindMark
+)
+
+// MarkCode identifies an instant annotation.
+type MarkCode uint8
+
+// Mark codes.
+const (
+	// MarkRetry: a transiently-failed work order was re-queued with backoff.
+	MarkRetry MarkCode = iota + 1
+	// MarkUoTRaise: the scheduler raised an operator's out-edge UoTs under
+	// sustained memory pressure.
+	MarkUoTRaise
+	// MarkRunEnd: the run finished (FlagFailed set if it errored).
+	MarkRunEnd
+)
+
+// Span flag bits.
+const (
+	// FlagFailed marks a failed (rolled-back) attempt or an errored run.
+	FlagFailed uint8 = 1 << iota
+	// FlagRetried marks a failed attempt the scheduler re-dispatched.
+	FlagRetried
+)
+
+// Event is one fixed-width trace record. Which fields are meaningful depends
+// on Kind; unused fields are zero. All timestamps are nanoseconds since the
+// tracer's base time (see Now).
+type Event struct {
+	Kind  Kind
+	Mark  MarkCode
+	Flags uint8
+
+	Run     int32 // run (section) id, assigned by the tracer on record
+	Op      int32 // operator id within the run
+	Edge    int32 // edge id within the run (KindEdge; -1 on spans)
+	Worker  int32 // executing worker (KindSpan)
+	Attempt int32 // 1-based attempt number (KindSpan)
+
+	// Batch is the per-edge UoT delivery id whose blocks this work order
+	// consumes (-1 for work orders not born from an edge delivery).
+	Batch int64
+
+	EnqueueNS int64 // when the work order entered the scheduler queue
+	StartNS   int64 // when the attempt started on a worker (sample time for KindEdge/KindMark)
+	EndNS     int64 // when the attempt finished
+
+	Rows      int64 // input rows consumed by the attempt
+	RowsOut   int64 // output rows produced by the attempt
+	Demotions int64 // fast-path → reference-path demotions it triggered
+
+	// Edge-sample gauges (KindEdge).
+	Buffered   int32 // blocks buffered on the edge after the transition
+	UoT        int64 // the edge's current UoT threshold in blocks
+	QueueDepth int32 // scheduler queue depth at the sample
+	StallNS    int64 // time the drained blocks waited buffered (0 while filling)
+	PoolBytes  int64 // live temporary-block bytes at the sample
+}
+
+// EdgeInfo describes a registered plan edge.
+type EdgeInfo struct {
+	From      int    // producer operator id
+	To        int    // consumer operator id
+	FromName  string // producer display name
+	ToName    string // consumer display name
+	Input     int    // pipelined input index at the consumer
+	Pipelined bool   // false for blocking (ordering-only) edges
+	UoT       int    // the edge's initial UoT in blocks (0 for blocking edges)
+}
+
+// opAgg accumulates per-operator metrics outside the ring.
+type opAgg struct {
+	spans, failed, retries int64
+	rows, rowsOut          int64
+	busyNS, queueNS        int64
+	demotions              int64
+}
+
+// edgeAgg accumulates per-edge metrics outside the ring.
+type edgeAgg struct {
+	samples, batches, blocks int64
+	maxBuffered              int32
+	stallNS                  int64
+	lastUoT                  int64
+}
+
+// runMeta is one traced execution section: its label, registered operators
+// and edges, and their aggregates.
+type runMeta struct {
+	pid     int32
+	label   string
+	ops     []string
+	opAggs  []opAgg
+	edges   []EdgeInfo
+	edgeAgg []edgeAgg
+	beginNS int64
+	endNS   int64
+	failed  bool
+	workers int
+}
+
+// Tracer is the event sink. The zero value is not usable; construct with
+// New. A nil *Tracer is the disabled tracer: every method is a nil-safe
+// no-op, so call sites need no separate enabled flag.
+type Tracer struct {
+	mu      sync.Mutex
+	base    time.Time
+	buf     []Event
+	next    int // next ring slot to write
+	n       int // events currently stored
+	dropped int64
+	runs    []*runMeta
+	cur     *runMeta
+}
+
+// DefaultCapacity is the ring size used when New is given capacity <= 0.
+const DefaultCapacity = 1 << 16
+
+// New returns a tracer whose ring holds capacity events (DefaultCapacity if
+// capacity <= 0). Timestamps are nanoseconds since this call.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{base: time.Now(), buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether events are being collected; false on nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns nanoseconds since the tracer's base time; 0 on nil.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.base))
+}
+
+// Since converts an absolute timestamp to tracer-relative nanoseconds.
+func (t *Tracer) Since(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(at.Sub(t.base))
+}
+
+// StartRun begins a new trace section (one engine execution). Events
+// recorded after it carry the new section's run id; exports group by
+// section, so one tracer can hold several executions side by side (the
+// FIG2 sweep records one section per UoT value).
+func (t *Tracer) StartRun(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.startRunLocked(label)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) startRunLocked(label string) {
+	r := &runMeta{pid: int32(len(t.runs)), label: label, beginNS: int64(time.Since(t.base))}
+	t.runs = append(t.runs, r)
+	t.cur = r
+}
+
+// EndRun stamps the current section finished; failed marks an errored run.
+func (t *Tracer) EndRun(failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.cur != nil {
+		t.cur.endNS = int64(time.Since(t.base))
+		t.cur.failed = failed
+	}
+	t.mu.Unlock()
+	e := Event{StartNS: t.Now()}
+	if failed {
+		e.Flags = FlagFailed
+	}
+	t.Mark(MarkRunEnd, e)
+}
+
+// SetWorkers records the section's worker count (thread naming in exports).
+func (t *Tracer) SetWorkers(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.cur == nil {
+		t.startRunLocked("")
+	}
+	t.cur.workers = n
+	t.mu.Unlock()
+}
+
+// RegisterOp names operator id within the current section (auto-opened if
+// StartRun was not called).
+func (t *Tracer) RegisterOp(id int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.cur == nil {
+		t.startRunLocked("")
+	}
+	for len(t.cur.ops) <= id {
+		t.cur.ops = append(t.cur.ops, "")
+		t.cur.opAggs = append(t.cur.opAggs, opAgg{})
+	}
+	t.cur.ops[id] = name
+	t.mu.Unlock()
+}
+
+// RegisterEdge describes edge id within the current section.
+func (t *Tracer) RegisterEdge(id int, info EdgeInfo) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.cur == nil {
+		t.startRunLocked("")
+	}
+	for len(t.cur.edges) <= id {
+		t.cur.edges = append(t.cur.edges, EdgeInfo{})
+		t.cur.edgeAgg = append(t.cur.edgeAgg, edgeAgg{})
+	}
+	t.cur.edges[id] = info
+	t.cur.edgeAgg[id].lastUoT = int64(info.UoT)
+	t.mu.Unlock()
+}
+
+// Span records one completed work-order attempt. Kind, Run, and Edge are
+// set by the tracer.
+func (t *Tracer) Span(e Event) {
+	if t == nil {
+		return
+	}
+	e.Kind = KindSpan
+	e.Edge = -1
+	t.mu.Lock()
+	if r := t.cur; r != nil && int(e.Op) < len(r.opAggs) {
+		a := &r.opAggs[e.Op]
+		a.spans++
+		a.busyNS += e.EndNS - e.StartNS
+		if e.EnqueueNS > 0 && e.StartNS > e.EnqueueNS {
+			a.queueNS += e.StartNS - e.EnqueueNS
+		}
+		a.demotions += e.Demotions
+		if e.Flags&FlagFailed != 0 {
+			a.failed++
+			if e.Flags&FlagRetried != 0 {
+				a.retries++
+			}
+		} else {
+			a.rows += e.Rows
+			a.rowsOut += e.RowsOut
+		}
+	}
+	t.recordLocked(e)
+	t.mu.Unlock()
+}
+
+// Edge records a per-edge gauge sample; delivered is how many blocks this
+// transition handed to the consumer (0 for a pure buffering sample, in
+// which case no batch is counted).
+func (t *Tracer) Edge(e Event, delivered int) {
+	if t == nil {
+		return
+	}
+	e.Kind = KindEdge
+	t.mu.Lock()
+	if r := t.cur; r != nil && int(e.Edge) < len(r.edgeAgg) {
+		a := &r.edgeAgg[e.Edge]
+		a.samples++
+		if delivered > 0 {
+			a.batches++
+			a.blocks += int64(delivered)
+		}
+		if e.Buffered > a.maxBuffered {
+			a.maxBuffered = e.Buffered
+		}
+		a.stallNS += e.StallNS
+		a.lastUoT = e.UoT
+	}
+	t.recordLocked(e)
+	t.mu.Unlock()
+}
+
+// Mark records an instant annotation.
+func (t *Tracer) Mark(code MarkCode, e Event) {
+	if t == nil {
+		return
+	}
+	e.Kind = KindMark
+	e.Mark = code
+	t.mu.Lock()
+	t.recordLocked(e)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) recordLocked(e Event) {
+	if t.cur != nil {
+		e.Run = t.cur.pid
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+}
+
+// Events returns the retained events oldest-first (a copy).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// OpName resolves an operator id within a run id ("" if unknown).
+func (t *Tracer) OpName(run, op int32) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(run) < len(t.runs) && int(op) < len(t.runs[run].ops) {
+		return t.runs[run].ops[op]
+	}
+	return ""
+}

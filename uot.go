@@ -37,6 +37,7 @@ import (
 	"repro/internal/monet"
 	"repro/internal/storage"
 	"repro/internal/tpch"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -167,6 +168,30 @@ type (
 
 // NewFaultInjector returns an injector for cfg.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// Execution observability: a Tracer wired into Options.Trace records
+// per-work-order spans, per-edge queue gauges, and scheduler annotations
+// into a fixed ring buffer with zero overhead when nil. Export the timeline
+// as Chrome trace-event JSON (WriteChromeTrace renders the Fig. 2 schedule
+// shapes in chrome://tracing / Perfetto) or snapshot aggregate metrics as
+// JSON / Prometheus-style text.
+type (
+	// Tracer is the ring-buffer event sink; nil means tracing disabled.
+	Tracer = trace.Tracer
+	// TraceEvent is one fixed-width recorded event.
+	TraceEvent = trace.Event
+	// TraceMetrics is an aggregate metrics snapshot (JSON / Prometheus).
+	TraceMetrics = trace.Metrics
+)
+
+// NewTracer returns a tracer retaining up to capacity events
+// (trace.DefaultCapacity if capacity <= 0):
+//
+//	tr := uot.NewTracer(0)
+//	res, err := uot.Execute(b, uot.Options{Workers: 8, UoTBlocks: 2, Trace: tr, TraceLabel: "uot=2"})
+//	tr.WriteChromeFile("trace.json")        // timeline for chrome://tracing
+//	tr.Snapshot().WritePrometheus(os.Stdout) // metrics scrape text
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
 
 // TPCH is a loaded TPC-H dataset.
 type TPCH = tpch.Dataset
