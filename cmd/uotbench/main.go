@@ -9,13 +9,15 @@
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
 // SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11, plus CONTEND for
 // the batch-kernel contention profile, AGG for the aggregation-kernel
-// profile, and CHAOS for the fault-injection robustness check — TPC-H under
-// a seeded fault schedule must match the fault-free results exactly).
+// profile, SORT for the parallel-sort/top-k kernel profile, and CHAOS for
+// the fault-injection robustness check — TPC-H under a seeded fault
+// schedule must match the fault-free results exactly).
 //
 // -micro runs the hot-path micro-benchmark suite instead (row-at-a-time
-// reference paths vs. the block-granular batch and aggregation kernels) and,
-// with -json, writes the machine-readable perf artifact that tracks kernel
-// throughput across PRs (BENCH_PR1.json, BENCH_PR2.json).
+// reference paths vs. the block-granular batch, aggregation, and
+// normalized-key sort kernels) and, with -json, writes the machine-readable
+// perf artifact that tracks kernel throughput across PRs (BENCH_PR1.json,
+// BENCH_PR2.json).
 //
 // -trace out.json attaches an execution tracer to the experiments that
 // support it (FIG2, FIG3) and writes the collected timeline as a Chrome

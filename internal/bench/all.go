@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"ABL-BLOCK", "ablation: block-size sweep", (*Harness).AblationBlockSize},
 		{"CONTEND", "batch-kernel contention profile (shard locks, scratch reuse)", (*Harness).ContentionProfile},
 		{"AGG", "aggregation-kernel profile (vectorized vs fallback, merge fan-out)", (*Harness).AggKernelProfile},
+		{"SORT", "sort-kernel profile (normalized-key runs, merge fan-out, top-k pruning)", (*Harness).SortKernelProfile},
 		{"CHAOS", "robustness: seeded fault injection vs fault-free results", (*Harness).Chaos},
 	}
 }

@@ -287,6 +287,7 @@ func microBenchmarks() []struct {
 	fn   func(b *testing.B)
 } {
 	const buildRows = microBlocks * microBlockRows
+	const sortRows = microSortBlocks * microBlockRows
 	return []struct {
 		name string
 		rows int64
@@ -310,6 +311,12 @@ func microBenchmarks() []struct {
 		{"agg/group/vectorized/g=1", buildRows, benchAgg(1, true)},
 		{"agg/group/reference/g=8", buildRows, benchAgg(8, false)},
 		{"agg/group/vectorized/g=8", buildRows, benchAgg(8, true)},
+		{"sort/reference/g=1", sortRows, benchSort(1, false, 0, microSortBlocks)},
+		{"sort/fast/g=1", sortRows, benchSort(1, true, 0, microSortBlocks)},
+		{"sort/reference/g=8", sortRows, benchSort(8, false, 0, microSortBlocks)},
+		{"sort/fast/g=8", sortRows, benchSort(8, true, 0, microSortBlocks)},
+		{"topk/reference/limit=100/g=8", sortRows, benchSort(8, false, 100, microSortBlocks)},
+		{"topk/fast/limit=100/g=8", sortRows, benchSort(8, true, 100, microSortBlocks)},
 	}
 }
 
@@ -354,6 +361,9 @@ func RunMicro() *MicroReport {
 	speedup("filterblock_scratch_speedup", "expr/filterblock/alloc", "expr/filterblock/scratch")
 	speedup("agg_vectorized_speedup_g1", "agg/group/reference/g=1", "agg/group/vectorized/g=1")
 	speedup("agg_vectorized_speedup_g8", "agg/group/reference/g=8", "agg/group/vectorized/g=8")
+	speedup("sort_fast_speedup_g1", "sort/reference/g=1", "sort/fast/g=1")
+	speedup("sort_fast_speedup_g8", "sort/reference/g=8", "sort/fast/g=8")
+	speedup("topk_fast_speedup_g8", "topk/reference/limit=100/g=8", "topk/fast/limit=100/g=8")
 	return rep
 }
 

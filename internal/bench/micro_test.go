@@ -20,6 +20,15 @@ func BenchmarkMicroAggVecG1(b *testing.B)      { benchAgg(1, true)(b) }
 func BenchmarkMicroAggRefG8(b *testing.B)      { benchAgg(8, false)(b) }
 func BenchmarkMicroAggVecG8(b *testing.B)      { benchAgg(8, true)(b) }
 
+// The sort smoke wrappers run a 128-block (131072-row) prefix of the micro
+// dataset so CI's -benchtime 10x pass stays fast; the full 1M-row shape runs
+// through cmd/uotbench -micro.
+func BenchmarkMicroSortRefG1(b *testing.B)  { benchSort(1, false, 0, 128)(b) }
+func BenchmarkMicroSortFastG1(b *testing.B) { benchSort(1, true, 0, 128)(b) }
+func BenchmarkMicroSortRefG8(b *testing.B)  { benchSort(8, false, 0, 128)(b) }
+func BenchmarkMicroSortFastG8(b *testing.B) { benchSort(8, true, 0, 128)(b) }
+func BenchmarkMicroSortTopKG8(b *testing.B) { benchSort(8, true, 100, 128)(b) }
+
 // TestMicroReportSmoke runs one tiny pass of the report plumbing (not the
 // full auto-scaled suite) to keep the JSON artifact path covered.
 func TestMicroReportSmoke(t *testing.T) {

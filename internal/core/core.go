@@ -150,6 +150,21 @@ type Output struct {
 	AggFastRows     int64
 	AggFallbackRows int64
 
+	// SortRuns counts sorted runs produced by run-generation work orders
+	// (one per fed block on the sort fast path).
+	SortRuns int64
+	// SortMergeFanout counts range-partitioned merge work orders: the
+	// parallelism of the k-way merge that replaced the single blocking sort.
+	SortMergeFanout int64
+	// SortFastRows counts rows sorted through the normalized-key path;
+	// SortFallbackRows counts rows through the reference Datum-comparator
+	// path (non-column keys, forced reference, demotion).
+	SortFastRows     int64
+	SortFallbackRows int64
+	// TopKPruned counts rows discarded by the bounded top-k heap without
+	// ever being materialized into a run (ORDER BY ... LIMIT pruning).
+	TopKPruned int64
+
 	// Demotions counts fast-path → reference-path demotions this work order
 	// triggered (at most one per operator per run).
 	Demotions int64
@@ -261,6 +276,28 @@ func (Base) AdoptsInputs() bool { return false }
 
 // Cleanup implements Operator.
 func (Base) Cleanup(*ExecCtx) {}
+
+// StagedOperator is an optional Operator extension for operators whose
+// finishing work splits into sequential waves after Final — e.g. the
+// parallel sort, whose range-partitioned merge work orders (from Final) must
+// all complete before a single emit work order hands the partitions to the
+// out-edges in order. Without staging, block routing happens at work-order
+// completion in completion order, which would scramble ordered output.
+type StagedOperator interface {
+	Operator
+	// NextStage is called on the scheduler goroutine each time the operator
+	// quiesces after Final (all issued work orders done). Returning a
+	// non-empty wave enqueues it and calls NextStage again with the next
+	// stage index once the wave completes; returning an empty non-nil slice
+	// skips to the next stage immediately; returning nil finishes the
+	// operator.
+	NextStage(ctx *ExecCtx, stage int) []WorkOrder
+	// AbandonStages surrenders blocks the operator materialized for a later
+	// stage that will never run (failed or canceled query). The scheduler
+	// releases them during cleanup; after a successful emit the operator
+	// must return nil, since ownership moved to the out-edges.
+	AbandonStages() []*storage.Block
+}
 
 // EdgeKind distinguishes data-carrying from ordering-only edges.
 type EdgeKind uint8

@@ -95,6 +95,7 @@ type opState struct {
 	inflight    int
 	queued      int
 	finalIssued bool
+	stage       int // next post-Final stage index (StagedOperator)
 	done        bool
 	maxDOP      int
 	memHolds    int // consecutive memory-budget holds (degradation trigger)
@@ -546,6 +547,12 @@ func (s *sched) onComplete(r wres) {
 			AggFastRows:     r.out.AggFastRows,
 			AggFallbackRows: r.out.AggFallbackRows,
 
+			SortRuns:         r.out.SortRuns,
+			SortMergeFanout:  r.out.SortMergeFanout,
+			SortFastRows:     r.out.SortFastRows,
+			SortFallbackRows: r.out.SortFallbackRows,
+			TopKPruned:       r.out.TopKPruned,
+
 			Attempt:   r.attempt,
 			Failed:    r.err != nil,
 			Demotions: r.out.Demotions,
@@ -571,6 +578,12 @@ func (s *sched) onComplete(r wres) {
 			Rows:      r.out.RowsIn,
 			RowsOut:   r.out.RowsOut,
 			Demotions: r.out.Demotions,
+
+			SortRuns:         r.out.SortRuns,
+			SortMergeFanout:  r.out.SortMergeFanout,
+			SortFastRows:     r.out.SortFastRows,
+			SortFallbackRows: r.out.SortFallbackRows,
+			TopKPruned:       r.out.TopKPruned,
 		})
 	}
 	if retry {
@@ -774,6 +787,22 @@ func (s *sched) check(st *opState) {
 			return
 		}
 	}
+	// Staged operators run post-Final waves: each wave must fully complete
+	// before the next stage is asked for, which is what lets a later stage
+	// hand ordered blocks to the out-edges in one deterministic work order.
+	if so, ok := st.op.(StagedOperator); ok {
+		for {
+			wos := so.NextStage(s.ctx, st.stage)
+			if wos == nil {
+				break
+			}
+			st.stage++
+			if len(wos) > 0 {
+				s.enqueue(st, wos)
+				return
+			}
+		}
+	}
 	s.finish(st)
 }
 
@@ -857,6 +886,14 @@ func (s *sched) cleanup() {
 		}
 		for _, b := range s.ctx.Pool.TakePartials(int(st.id)) {
 			release(b)
+		}
+		// Blocks materialized for an emit stage that will never run are in
+		// no refcount, edge, or partial structure — only the operator knows
+		// about them.
+		if so, ok := st.op.(StagedOperator); ok {
+			for _, b := range so.AbandonStages() {
+				release(b)
+			}
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// stagedSrc exercises the StagedOperator protocol: Final fans out one work
+// order per partition, each checking a pool block out and parking it on the
+// operator; stage 0 hands the parked blocks to the out-edges in partition
+// order in a single emit work order (stage 1 ends the stages). With failEmit
+// the emit work order fails fatally, leaving the parked blocks reachable only
+// through AbandonStages.
+type stagedSrc struct {
+	Base
+	self     OpID
+	parts    int
+	failEmit bool
+
+	mu     sync.Mutex
+	parked []*storage.Block
+	stages []int // NextStage invocations observed, in order
+}
+
+func (s *stagedSrc) Name() string   { return "staged" }
+func (s *stagedSrc) NumInputs() int { return 0 }
+
+func (s *stagedSrc) Final(*ExecCtx) []WorkOrder {
+	s.parked = make([]*storage.Block, s.parts)
+	wos := make([]WorkOrder, s.parts)
+	for p := 0; p < s.parts; p++ {
+		wos[p] = &stagedPartWO{s: s, part: p}
+	}
+	return wos
+}
+
+func (s *stagedSrc) NextStage(_ *ExecCtx, stage int) []WorkOrder {
+	s.mu.Lock()
+	s.stages = append(s.stages, stage)
+	done := s.parked == nil
+	s.mu.Unlock()
+	if stage > 0 || done {
+		return nil
+	}
+	return []WorkOrder{&stagedEmitWO{s: s}}
+}
+
+func (s *stagedSrc) AbandonStages() []*storage.Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bs []*storage.Block
+	for _, b := range s.parked {
+		if b != nil {
+			bs = append(bs, b)
+		}
+	}
+	s.parked = nil
+	return bs
+}
+
+type stagedPartWO struct {
+	s    *stagedSrc
+	part int
+}
+
+func (w *stagedPartWO) Inputs() []*storage.Block { return nil }
+
+func (w *stagedPartWO) Run(ctx *ExecCtx, _ *Output) error {
+	b := ctx.Pool.CheckOut(int(w.s.self), testSchema, ctx.TempFormat, ctx.TempBlockBytes)
+	b.AppendRow(types.NewInt64(int64(w.part)))
+	w.s.mu.Lock()
+	w.s.parked[w.part] = b
+	w.s.mu.Unlock()
+	return nil
+}
+
+type stagedEmitWO struct{ s *stagedSrc }
+
+func (w *stagedEmitWO) Inputs() []*storage.Block { return nil }
+
+func (w *stagedEmitWO) Run(_ *ExecCtx, out *Output) error {
+	if w.s.failEmit {
+		return errors.New("emit exploded")
+	}
+	w.s.mu.Lock()
+	for _, b := range w.s.parked {
+		out.Blocks = append(out.Blocks, b)
+		out.RowsOut += int64(b.NumRows())
+	}
+	w.s.parked = nil
+	w.s.mu.Unlock()
+	return nil
+}
+
+// orderSink records row values in Feed (scheduler) order and releases the
+// blocks through a per-batch work order.
+type orderSink struct {
+	Base
+	mu   sync.Mutex
+	vals []int64
+}
+
+func (c *orderSink) Name() string   { return "ordersink" }
+func (c *orderSink) NumInputs() int { return 1 }
+
+func (c *orderSink) Feed(_ *ExecCtx, _ int, blocks []*storage.Block) []WorkOrder {
+	c.mu.Lock()
+	for _, b := range blocks {
+		for r := 0; r < b.NumRows(); r++ {
+			c.vals = append(c.vals, b.Row(r)[0].I)
+		}
+	}
+	c.mu.Unlock()
+	return []WorkOrder{&releaseWO{blocks: blocks}}
+}
+
+type releaseWO struct{ blocks []*storage.Block }
+
+func (w *releaseWO) Inputs() []*storage.Block { return w.blocks }
+func (w *releaseWO) Run(*ExecCtx, *Output) error {
+	return nil
+}
+
+func TestStagedOperatorEmitsAfterAllPartitions(t *testing.T) {
+	src := &stagedSrc{parts: 6}
+	sink := &orderSink{}
+	plan := &Plan{}
+	src.self = plan.AddOp(src)
+	cid := plan.AddOp(sink)
+	plan.Pipe(src.self, cid, 0, 1)
+	ctx := newCtx(4)
+	if err := Run(plan, ctx, 1); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	// The emit stage runs only after every partition work order completed,
+	// and hands the blocks over in partition order — regardless of the order
+	// the parallel partition work orders finished in.
+	want := []int64{0, 1, 2, 3, 4, 5}
+	if len(sink.vals) != len(want) {
+		t.Fatalf("sink rows = %v, want %v", sink.vals, want)
+	}
+	for i, v := range want {
+		if sink.vals[i] != v {
+			t.Fatalf("sink rows = %v, want %v", sink.vals, want)
+		}
+	}
+	if len(src.stages) != 2 || src.stages[0] != 0 || src.stages[1] != 1 {
+		t.Fatalf("NextStage calls = %v, want [0 1]", src.stages)
+	}
+	r := ctx.Run.Robust()
+	if r.LeakedBlocks != 0 || r.OutstandingRefs != 0 {
+		t.Fatalf("staged run leaked blocks: %+v", r)
+	}
+}
+
+func TestStagedOperatorAbandonedBlocksReleasedOnFailure(t *testing.T) {
+	src := &stagedSrc{parts: 4, failEmit: true}
+	sink := &orderSink{}
+	plan := &Plan{}
+	src.self = plan.AddOp(src)
+	cid := plan.AddOp(sink)
+	plan.Pipe(src.self, cid, 0, 1)
+	ctx := newCtx(2)
+	if err := Run(plan, ctx, 1); err == nil {
+		t.Fatal("run succeeded, want emit failure")
+	}
+	if len(sink.vals) != 0 {
+		t.Fatalf("sink received %v from a failed run", sink.vals)
+	}
+	// The partition blocks lived only on the operator; cleanup must reclaim
+	// them through AbandonStages.
+	r := ctx.Run.Robust()
+	if r.LeakedBlocks != 0 || r.OutstandingRefs != 0 {
+		t.Fatalf("abandoned stage blocks leaked: %+v", r)
+	}
+}

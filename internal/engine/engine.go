@@ -306,13 +306,7 @@ func Rows(t *storage.Table) [][]types.Datum {
 // comparison in tests).
 func SortRows(rows [][]types.Datum) {
 	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		for k := range a {
-			if c := types.Compare(a[k], b[k]); c != 0 {
-				return c < 0
-			}
-		}
-		return false
+		return types.CompareRows(rows[i], rows[j], nil) < 0
 	})
 }
 

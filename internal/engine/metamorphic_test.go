@@ -65,7 +65,9 @@ type mmSpec struct {
 	pred     int // 0 none, 1 k<c, 2 g>=c, 3 k<c && g!=c2
 	predC    int64
 	predC2   int64
-	join     int // 0 none, 1 inner, 2 semi, 3 anti
+	join     int  // 0 none, 1 inner, 2 semi, 3 anti
+	sortDesc bool // ORDER BY g DESC
+	sortLim  int  // LIMIT (0 = none); g is unique per group, so any cut is deterministic
 	aggs     []exec.AggFunc
 	fact     *storage.Table
 	dim      *storage.Table
@@ -84,6 +86,13 @@ func genSpec(seed int64) *mmSpec {
 	s.dimKeys = 1 + r.Intn(s.keySpace)
 	s.predC = int64(r.Intn(s.keySpace))
 	s.predC2 = int64(r.Intn(s.groups))
+	// Random ordering direction and, half the time, a LIMIT: the sort key is
+	// the (unique) group key, so the truncated row set is configuration-
+	// independent even though encodeRows canonicalization is order-blind.
+	s.sortDesc = r.Intn(2) == 1
+	if r.Intn(2) == 1 {
+		s.sortLim = 1 + r.Intn(s.groups)
+	}
 	// 1-3 aggregates over v, plus an unconditional count.
 	funcs := []exec.AggFunc{exec.Sum, exec.Min, exec.Max}
 	r.Shuffle(len(funcs), func(i, j int) { funcs[i], funcs[j] = funcs[j], funcs[i] })
@@ -192,7 +201,8 @@ func (s *mmSpec) build() *engine.Builder {
 	})
 	srt := b.Sort(agg, exec.SortSpec{
 		Name:  "mm_sort",
-		Terms: []exec.SortTerm{{Key: expr.C(agg.Schema, "g")}},
+		Terms: []exec.SortTerm{{Key: expr.C(agg.Schema, "g"), Desc: s.sortDesc}},
+		Limit: s.sortLim,
 	})
 	b.Collect(srt)
 	return b

@@ -57,6 +57,15 @@ func runOp(t *testing.T, ctx *core.ExecCtx, op core.Operator, id core.OpID, bloc
 		runWOs(op.Feed(ctx, 0, blocks))
 	}
 	runWOs(op.Final(ctx))
+	if so, ok := op.(core.StagedOperator); ok {
+		for stage := 0; ; stage++ {
+			wos := so.NextStage(ctx, stage)
+			if wos == nil {
+				break
+			}
+			runWOs(wos)
+		}
+	}
 	emitted = append(emitted, ctx.Pool.TakePartials(int(id))...)
 	return emitted
 }
@@ -234,6 +243,9 @@ func TestSortStabilityAndDesc(t *testing.T) {
 	})
 	op.setID(6)
 	rows := allRows(runOp(t, execCtx(), op, 6, b))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
 	wantK := []int64{3, 3, 3, 2, 1, 1}
 	wantSeq := []int64{0, 2, 5, 3, 1, 4} // ties keep arrival order (stable)
 	for i, r := range rows {

@@ -3,9 +3,13 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/faults"
+	"repro/internal/sorter"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -16,17 +20,76 @@ type SortTerm struct {
 	Desc bool
 }
 
-// SortOp is a blocking sort with an optional LIMIT: it buffers its whole
-// input (sort is inherently UoT = table, as the paper notes in Section V-B),
-// sorts in a single final work order, and emits the ordered prefix.
+const (
+	// sortMaxMergeParts caps the range-partitioned merge fan-out.
+	sortMaxMergeParts = 8
+	// sortMinMergeRows is the minimum row count per merge partition; below
+	// it extra partitions cost more in splitter overhead than they win.
+	sortMinMergeRows = 4096
+	// sortGatherBatch is how many merged rows are staged before a columnar
+	// gather into the output block.
+	sortGatherBatch = 1024
+)
+
+// SortOp is a blocking sort with an optional LIMIT (sort is inherently
+// UoT = table, as the paper notes in Section V-B). The fast path encodes
+// ORDER BY keys into normalized uint64 words and sorts each fed block into a
+// run in its own work order as input arrives (radix sort for single-word
+// keys, a bounded top-k heap when Limit > 0), then k-way-merges the runs in
+// range-partitioned parallel work orders and emits through a columnar gather
+// kernel in one deterministic emit stage. The reference row-at-a-time path
+// is kept for non-column keys, ForceReference, and fault demotion; both
+// paths order ties by arrival, so their results are bit-identical (the lone
+// exception is data mixing -0.0 and +0.0 float keys, which the reference
+// comparator cannot distinguish but normalized keys can).
 type SortOp struct {
 	core.Base
 	self   core.OpID
 	name   string
 	terms  []SortTerm
+	desc   []bool // per-term Desc, for types.CompareRows
 	limit  int
 	schema *storage.Schema
-	blocks []*storage.Block
+	blocks []*storage.Block // every fed block, arrival order (both paths)
+
+	// rowScratch pools the reference path's row slice across retries.
+	rowScratch []sortRow
+
+	// Fast-path plan: filled by initFastPath when every term is a plain
+	// column reference of a normalized-key type.
+	fast   bool
+	layout sorter.Layout
+	cols   []int // source column per term
+
+	// demoted flips (permanently, for the run) when a fault fires on the
+	// fast path; Final then sorts everything through the reference path.
+	demoted atomic.Bool
+
+	mu      sync.Mutex
+	runs    []sortRun      // one per fed block, indexed by run sequence
+	scratch []*sortScratch // run-generation scratch free list
+
+	// Merge state: built by Final on the scheduler goroutine, filled by the
+	// merge work orders, handed to the out-edges by the emit stage.
+	mruns []sorter.Run
+	parts [][]*storage.Block
+}
+
+// sortRun is one block's sorted run: normalized key tuples in sorted order
+// and the matching block row ids.
+type sortRun struct {
+	keys []uint64
+	rows []int32
+}
+
+// sortScratch holds the reusable buffers of one run-generation work order.
+type sortScratch struct {
+	i64   []int64
+	f64   []float64
+	keys  []uint64
+	ids   []int32
+	kv    []sorter.KV
+	kvTmp []sorter.KV
 }
 
 // SortSpec configures NewSort.
@@ -38,6 +101,9 @@ type SortSpec struct {
 	Terms []SortTerm
 	// Limit truncates the output (0 = no limit).
 	Limit int
+	// ForceReference disables the normalized-key fast path, keeping the
+	// row-at-a-time reference sort (tests, benchmarks).
+	ForceReference bool
 }
 
 // NewSort builds a sort operator.
@@ -45,8 +111,55 @@ func NewSort(spec SortSpec) *SortOp {
 	if len(spec.Terms) == 0 {
 		panic("exec: sort needs at least one term")
 	}
-	return &SortOp{name: spec.Name, terms: spec.Terms, limit: spec.Limit, schema: spec.InputSchema}
+	op := &SortOp{name: spec.Name, terms: spec.Terms, limit: spec.Limit, schema: spec.InputSchema}
+	op.desc = make([]bool, len(spec.Terms))
+	for i, t := range spec.Terms {
+		op.desc[i] = t.Desc
+	}
+	if !spec.ForceReference {
+		op.initFastPath()
+	}
+	return op
 }
+
+// initFastPath decides fast-path eligibility: every term must be a plain
+// column reference of a type with a normalized-key encoding. Char columns
+// wider than 8 bytes make the layout approximate (prefix words plus a
+// full-value tie-break), which disables range-partitioned merging but keeps
+// the vectorized run sort.
+func (o *SortOp) initFastPath() {
+	terms := make([]sorter.Term, 0, len(o.terms))
+	cols := make([]int, 0, len(o.terms))
+	for _, t := range o.terms {
+		c, ok := expr.AsPrimaryColRef(t.Key)
+		if !ok {
+			return
+		}
+		st := sorter.Term{Desc: t.Desc}
+		switch c.Ty {
+		case types.Int64:
+			st.Type = sorter.Int64
+		case types.Date:
+			st.Type = sorter.Date
+		case types.Float64:
+			st.Type = sorter.Float64
+		case types.Char:
+			st.Type = sorter.Bytes
+			st.Width = c.Width
+		default:
+			return
+		}
+		terms = append(terms, st)
+		cols = append(cols, c.Col)
+	}
+	o.layout = sorter.NewLayout(terms)
+	o.cols = cols
+	o.fast = true
+}
+
+// FastPath reports whether the normalized-key path is active (for tests and
+// the bench harness).
+func (o *SortOp) FastPath() bool { return o.fast }
 
 func (o *SortOp) setID(id core.OpID) { o.self = id }
 
@@ -59,32 +172,400 @@ func (o *SortOp) NumInputs() int { return 1 }
 // OutSchema returns the output schema (same as input).
 func (o *SortOp) OutSchema() *storage.Schema { return o.schema }
 
-// Feed implements core.Operator: sort only buffers; the scheduler releases
-// the buffered blocks after the operator finishes.
+// Feed implements core.Operator. The reference path only buffers; the fast
+// path additionally issues one run-generation work order per block, so run
+// sorting overlaps with upstream production. Run work orders report nil
+// Inputs: the scheduler keeps the fed blocks held until the operator
+// finishes, which is exactly the lifetime the merge and emit stages need.
 func (o *SortOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
-	o.blocks = append(o.blocks, blocks...)
+	var wos []core.WorkOrder
+	for _, b := range blocks {
+		o.mu.Lock()
+		seq := len(o.blocks)
+		o.blocks = append(o.blocks, b)
+		o.runs = append(o.runs, sortRun{})
+		o.mu.Unlock()
+		if o.fast {
+			wos = append(wos, &sortRunWO{op: o, block: b, seq: seq})
+		}
+	}
+	return wos
+}
+
+// getScratch hands out a free run-generation scratch, creating one if none
+// is available (one lock acquisition per block, like the agg partials).
+func (o *SortOp) getScratch(out *core.Output) *sortScratch {
+	o.mu.Lock()
+	if n := len(o.scratch); n > 0 {
+		sc := o.scratch[n-1]
+		o.scratch = o.scratch[:n-1]
+		o.mu.Unlock()
+		out.ScratchHits++
+		return sc
+	}
+	o.mu.Unlock()
+	return &sortScratch{}
+}
+
+func (o *SortOp) putScratch(sc *sortScratch) {
+	o.mu.Lock()
+	o.scratch = append(o.scratch, sc)
+	o.mu.Unlock()
+}
+
+// sortTie resolves approximate (wide Char) terms against source blocks; run
+// indexes select the block, so callers align blocks with run order.
+type sortTie struct {
+	op     *SortOp
+	blocks []*storage.Block
+}
+
+func (t *sortTie) Compare(term int, runA int, rowA int32, runB int, rowB int32) int {
+	col := t.op.cols[term]
+	c := types.Compare(
+		t.blocks[runA].DatumAt(col, int(rowA)),
+		t.blocks[runB].DatumAt(col, int(rowB)))
+	if t.op.terms[term].Desc {
+		c = -c
+	}
+	return c
+}
+
+// encodeBlock gathers and normalizes every term of one block into sc.keys
+// (row-major, layout stride) and returns the key array.
+func (o *SortOp) encodeBlock(b *storage.Block, sc *sortScratch, n int) []uint64 {
+	words := o.layout.Words
+	if cap(sc.keys) < n*words {
+		sc.keys = make([]uint64, n*words)
+	}
+	keys := sc.keys[:n*words]
+	for t := range o.terms {
+		col := o.cols[t]
+		switch o.layout.Terms[t].Type {
+		case sorter.Int64:
+			sc.i64 = b.GatherInt64(col, sc.i64)
+			o.layout.EncodeInt64(t, sc.i64, nil, keys)
+		case sorter.Date:
+			sc.i64 = b.GatherDate(col, sc.i64)
+			o.layout.EncodeInt64(t, sc.i64, nil, keys)
+		case sorter.Float64:
+			sc.f64 = b.GatherFloat64(col, sc.f64)
+			o.layout.EncodeFloat64(t, sc.f64, nil, keys)
+		case sorter.Bytes:
+			o.layout.EncodeBytes(t, n, func(i int) []byte { return b.BytesAt(col, i) }, nil, keys)
+		}
+	}
+	return keys
+}
+
+// sortRunWO sorts one fed block into a run: encode normalized keys, then
+// radix-sort (single exact word), top-k (Limit > 0), or comparison-sort.
+type sortRunWO struct {
+	op    *SortOp
+	block *storage.Block
+	seq   int
+}
+
+// Inputs returns nil: the fed block must outlive this work order (the merge
+// reads it), so it stays held by the scheduler until the operator finishes.
+func (w *sortRunWO) Inputs() []*storage.Block { return nil }
+
+func (w *sortRunWO) Run(ctx *core.ExecCtx, out *core.Output) error {
+	o := w.op
+	if o.demoted.Load() {
+		return nil // Final re-sorts everything on the reference path
+	}
+	// The fault site fires before any run state exists, so a faulted attempt
+	// mutates nothing; the retry lands here again and no-ops via demoted.
+	if err := ctx.FaultAt(faults.SortRun); err != nil {
+		if o.demoted.CompareAndSwap(false, true) {
+			out.Demotions++
+		}
+		return err
+	}
+	b := w.block
+	n := b.NumRows()
+	out.RowsIn = int64(n)
+	if ctx.Sim != nil {
+		out.Sim += ctx.Sim.ConsumedSeq(b, readBytes(b, o.cols))
+	}
+	var run sortRun
+	if n > 0 {
+		sc := o.getScratch(out)
+		words := o.layout.Words
+		var tie sorter.Tie
+		if !o.layout.Exact {
+			tie = &sortTie{op: o, blocks: []*storage.Block{b}}
+		}
+		keys := o.encodeBlock(b, sc, n)
+		switch {
+		case o.limit > 0:
+			// Dedicated top-k: the run never materializes more than Limit
+			// rows, and rejected rows are counted as pruned.
+			tk := sorter.NewTopK(o.limit, &o.layout, 0, tie)
+			var pruned int64
+			for i := 0; i < n; i++ {
+				if !tk.Offer(keys[i*words:(i+1)*words], int32(i)) {
+					pruned++
+				}
+			}
+			run.keys, run.rows = tk.Sorted()
+			out.TopKPruned += pruned
+		case words == 1 && o.layout.Exact:
+			if cap(sc.kv) < n {
+				sc.kv = make([]sorter.KV, n)
+			}
+			if cap(sc.kvTmp) < n {
+				sc.kvTmp = make([]sorter.KV, n)
+			}
+			kv := sc.kv[:n]
+			for i := 0; i < n; i++ {
+				kv[i] = sorter.KV{Key: keys[i], ID: int32(i)}
+			}
+			sorted := sorter.SortKVs(kv, sc.kvTmp[:n])
+			rk := make([]uint64, n)
+			rr := make([]int32, n)
+			for i, it := range sorted {
+				rk[i], rr[i] = it.Key, it.ID
+			}
+			run.keys, run.rows = rk, rr
+		default:
+			if cap(sc.ids) < n {
+				sc.ids = make([]int32, n)
+			}
+			ids := sc.ids[:n]
+			for i := range ids {
+				ids[i] = int32(i)
+			}
+			sorter.SortRows(&o.layout, keys, ids, 0, tie)
+			rk := make([]uint64, 0, n*words)
+			rr := make([]int32, n)
+			for i, id := range ids {
+				rk = append(rk, keys[int(id)*words:(int(id)+1)*words]...)
+				rr[i] = id
+			}
+			run.keys, run.rows = rk, rr
+		}
+		o.putScratch(sc)
+	}
+	o.mu.Lock()
+	o.runs[w.seq] = run
+	o.mu.Unlock()
+	out.SortRuns++
+	out.SortFastRows += int64(n)
+	out.BatchedRows += int64(n)
 	return nil
 }
 
-// Final implements core.Operator.
-func (o *SortOp) Final(*core.ExecCtx) []core.WorkOrder {
-	return []core.WorkOrder{&sortWO{op: o}}
+// Final implements core.Operator. On the fast path it plans the k-way merge:
+// sample splitters over the sorted runs and fan out one range-partitioned
+// merge work order per partition (a single partition when a LIMIT bounds the
+// output or an approximate layout prevents word-only range comparison). The
+// reference path — and a demoted fast path — sorts everything in one work
+// order as before.
+func (o *SortOp) Final(ctx *core.ExecCtx) []core.WorkOrder {
+	if !o.fast || o.demoted.Load() {
+		return []core.WorkOrder{&sortWO{op: o}}
+	}
+	total := 0
+	o.mruns = make([]sorter.Run, len(o.runs))
+	for i := range o.runs {
+		o.mruns[i] = sorter.Run{Keys: o.runs[i].keys, Rows: o.runs[i].rows, Seq: int32(i)}
+		total += len(o.runs[i].rows)
+	}
+	parts := 1
+	if o.limit == 0 && o.layout.Exact && ctx.Workers > 1 {
+		parts = ctx.Workers
+		if parts > sortMaxMergeParts {
+			parts = sortMaxMergeParts
+		}
+		if byRows := total/sortMinMergeRows + 1; parts > byRows {
+			parts = byRows
+		}
+	}
+	splits := sorter.Splitters(o.mruns, &o.layout, parts)
+	bounds := make([][]uint64, 0, len(splits)+2)
+	bounds = append(bounds, nil)
+	bounds = append(bounds, splits...)
+	bounds = append(bounds, nil)
+	np := len(bounds) - 1
+	o.parts = make([][]*storage.Block, np)
+	wos := make([]core.WorkOrder, np)
+	for p := 0; p < np; p++ {
+		wos[p] = &sortMergeWO{op: o, part: p, lo: bounds[p], hi: bounds[p+1]}
+	}
+	return wos
 }
 
+// sortMergeWO merges one key range of every run and materializes it into
+// temporary blocks via the columnar gather kernel. The blocks are parked on
+// the operator; the emit stage hands them to the out-edges in partition
+// order once every partition completed.
+type sortMergeWO struct {
+	op     *SortOp
+	part   int
+	lo, hi []uint64 // partition bounds as key tuples; nil = open end
+}
+
+func (w *sortMergeWO) Inputs() []*storage.Block { return nil }
+
+func (w *sortMergeWO) Run(ctx *core.ExecCtx, out *core.Output) error {
+	o := w.op
+	out.SortMergeFanout++
+	runs := o.mruns
+	lo := make([]int, len(runs))
+	hi := make([]int, len(runs))
+	for i := range runs {
+		if w.lo != nil {
+			lo[i] = sorter.LowerBound(&runs[i], &o.layout, w.lo)
+		}
+		if w.hi != nil {
+			hi[i] = sorter.LowerBound(&runs[i], &o.layout, w.hi)
+		} else {
+			hi[i] = runs[i].Len()
+		}
+	}
+	var tie sorter.Tie
+	if !o.layout.Exact {
+		tie = &sortTie{op: o, blocks: o.blocks}
+	}
+	m := sorter.NewMerge(runs, &o.layout, tie, lo, hi)
+
+	proj := make([]int, o.schema.NumCols())
+	for i := range proj {
+		proj[i] = i
+	}
+	var blocks []*storage.Block
+	abort := func(err error) error {
+		for _, b := range blocks {
+			ctx.Pool.Release(b)
+		}
+		return err
+	}
+	remaining := -1
+	if o.limit > 0 {
+		remaining = o.limit // single partition when limited, so this is global
+	}
+	var srcBuf, rowBuf [sortGatherBatch]int32
+	var cur *storage.Block
+	rows := int64(0)
+	for {
+		bn := 0
+		for bn < sortGatherBatch && remaining != 0 {
+			run, row, ok := m.Next()
+			if !ok {
+				break
+			}
+			srcBuf[bn], rowBuf[bn] = int32(run), row
+			bn++
+			if remaining > 0 {
+				remaining--
+			}
+		}
+		if bn == 0 {
+			break
+		}
+		rows += int64(bn)
+		at := 0
+		for at < bn {
+			if cur == nil {
+				if err := ctx.Canceled(); err != nil {
+					return abort(err)
+				}
+				cur = ctx.Pool.CheckOut(int(o.self), o.schema, ctx.TempFormat, ctx.TempBlockBytes)
+				blocks = append(blocks, cur)
+			}
+			at += cur.AppendGather(o.blocks, srcBuf[at:bn], rowBuf[at:bn], proj)
+			if cur.Full() {
+				if ctx.Sim != nil {
+					out.Sim += ctx.Sim.Produced(cur, int64(cur.UsedBytes()))
+				}
+				cur = nil
+			}
+		}
+	}
+	if cur != nil && ctx.Sim != nil {
+		out.Sim += ctx.Sim.Produced(cur, int64(cur.UsedBytes()))
+	}
+	out.BatchedRows += rows
+	o.mu.Lock()
+	o.parts[w.part] = blocks
+	o.mu.Unlock()
+	return nil
+}
+
+// NextStage implements core.StagedOperator: once every merge partition
+// completed, a single emit work order transfers the partition blocks to the
+// out-edges in partition order — one deterministic hand-off instead of
+// completion-order routing, which is what keeps the output ordered.
+func (o *SortOp) NextStage(_ *core.ExecCtx, stage int) []core.WorkOrder {
+	if stage > 0 || len(o.parts) == 0 {
+		return nil
+	}
+	return []core.WorkOrder{&sortEmitWO{op: o}}
+}
+
+// AbandonStages implements core.StagedOperator: on a failed run the merged
+// partition blocks live only here, so the scheduler reclaims them.
+func (o *SortOp) AbandonStages() []*storage.Block {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var bs []*storage.Block
+	for _, p := range o.parts {
+		bs = append(bs, p...)
+	}
+	o.parts = nil
+	return bs
+}
+
+type sortEmitWO struct{ op *SortOp }
+
+func (w *sortEmitWO) Inputs() []*storage.Block { return nil }
+
+func (w *sortEmitWO) Run(_ *core.ExecCtx, out *core.Output) error {
+	o := w.op
+	o.mu.Lock()
+	for _, bs := range o.parts {
+		for _, b := range bs {
+			out.Blocks = append(out.Blocks, b)
+			out.RowsOut += int64(b.NumRows())
+		}
+	}
+	o.parts = nil
+	o.mu.Unlock()
+	return nil
+}
+
+// sortWO is the reference path: a single work order that boxes every key
+// row into datums, stable-sorts with the shared multi-term comparator, and
+// emits row-at-a-time.
 type sortWO struct{ op *SortOp }
 
 func (w *sortWO) Inputs() []*storage.Block { return nil }
 
 type sortRow struct {
-	blk  int
-	row  int
+	blk  int32
+	row  int32
 	keys []types.Datum
 }
 
 func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	o := w.op
-	var rows []sortRow
+	total := 0
+	for _, b := range o.blocks {
+		total += b.NumRows()
+	}
+	rows := o.rowScratch
+	if cap(rows) < total {
+		rows = make([]sortRow, 0, total)
+	}
+	rows = rows[:0]
+	o.rowScratch = rows // pool the slice for a retried attempt
+	nt := len(o.terms)
+	// One flat backing array for every row's keys instead of a per-row make.
+	flat := make([]types.Datum, total*nt)
 	ec := expr.Ctx{Scalars: ctx.Scalars}
+	at := 0
 	for bi, b := range o.blocks {
 		ec.B = b
 		if ctx.Sim != nil {
@@ -92,26 +573,17 @@ func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 		}
 		for r := 0; r < b.NumRows(); r++ {
 			ec.Row = r
-			keys := make([]types.Datum, len(o.terms))
+			keys := flat[at : at+nt : at+nt]
+			at += nt
 			for i, t := range o.terms {
 				keys[i] = copyDatum(t.Key.Eval(&ec))
 			}
-			rows = append(rows, sortRow{blk: bi, row: r, keys: keys})
+			rows = append(rows, sortRow{blk: int32(bi), row: int32(r), keys: keys})
 		}
 	}
-	out.RowsIn = int64(len(rows))
+	out.RowsIn = int64(total)
 	sort.SliceStable(rows, func(i, j int) bool {
-		for k, t := range o.terms {
-			c := types.Compare(rows[i].keys[k], rows[j].keys[k])
-			if c == 0 {
-				continue
-			}
-			if t.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return types.CompareRows(rows[i].keys, rows[j].keys, o.desc) < 0
 	})
 	if o.limit > 0 && len(rows) > o.limit {
 		rows = rows[:o.limit]
@@ -123,13 +595,19 @@ func (w *sortWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 	}
 	em := core.NewEmitter(ctx, out, o.self, o.schema)
 	for _, r := range rows {
-		em.AppendFrom(o.blocks[r.blk], r.row, ident)
+		em.AppendFrom(o.blocks[r.blk], int(r.row), ident)
 	}
+	out.SortFallbackRows += int64(total)
 	// Drop the buffered input only after the emit loop finished: an attempt
 	// aborted mid-emit (fault, deadline) keeps the blocks so the retry can
 	// re-read them.
 	o.blocks = nil
 	return nil
+}
+
+// Cleanup implements core.Operator.
+func (o *SortOp) Cleanup(*core.ExecCtx) {
+	o.blocks, o.runs, o.mruns, o.scratch, o.rowScratch = nil, nil, nil, nil, nil
 }
 
 // String renders the operator.

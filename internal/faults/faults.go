@@ -42,13 +42,17 @@ const (
 	// block out of the pool (mid-stream: earlier blocks of the same work
 	// order may already be sealed and must be rolled back).
 	BlockMaterialize
+	// SortRun fires at the start of a normalized-key run-generation work
+	// order, before the run is stored (pre-mutation; demotes the sort to the
+	// reference path like AggUpsert does for aggregation).
+	SortRun
 
-	numSites = 4
+	numSites = 5
 )
 
 // Sites lists every defined site.
 func Sites() []Site {
-	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize}
+	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize, SortRun}
 }
 
 // String returns the site's name.
@@ -62,6 +66,8 @@ func (s Site) String() string {
 		return "agg_upsert"
 	case BlockMaterialize:
 		return "block_materialize"
+	case SortRun:
+		return "sort_run"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

@@ -1,0 +1,194 @@
+package sorter
+
+import "sort"
+
+// Run is one sorted run produced by run generation: the normalized key
+// tuples in sorted order (row-major, stride Layout.Words) and the matching
+// source row ids. Seq is the run's arrival sequence, used as the first merge
+// tie-break so the k-way merge reproduces global arrival order on equal keys.
+type Run struct {
+	Keys []uint64
+	Rows []int32
+	Seq  int32
+}
+
+// Len returns the run's row count.
+func (r *Run) Len() int { return len(r.Rows) }
+
+// Merge is a k-way loser-tree merge over sorted runs, optionally restricted
+// to a per-run [lo, hi) range (range-partitioned parallel merge). Winners
+// pop in (key tuple, run Seq, row position) order: key ties resolve to the
+// earlier run, and within a run rows are already in arrival order, so the
+// merged stream is exactly the stable reference order.
+//
+// The loser tree keeps one internal node per run holding the loser of that
+// subtree's last replay; replacing the winner replays a single leaf-to-root
+// path (log k comparisons) instead of the 2 log k of a binary heap.
+type Merge struct {
+	runs []Run
+	l    *Layout
+	tie  Tie
+	pos  []int
+	end  []int
+	tree []int32 // tree[0] is the champion; tree[1:] hold subtree losers
+	k    int
+}
+
+// NewMerge builds a merge over runs. lo and hi give each run's half-open row
+// range; nil means the full run. The run index passed to tie is the index in
+// runs, so callers must align their tie state with that order.
+func NewMerge(runs []Run, l *Layout, tie Tie, lo, hi []int) *Merge {
+	k := len(runs)
+	m := &Merge{
+		runs: runs, l: l, tie: tie, k: k,
+		pos:  make([]int, k),
+		end:  make([]int, k),
+		tree: make([]int32, maxInt(k, 1)),
+	}
+	for i := range m.tree {
+		m.tree[i] = -1
+	}
+	for r := 0; r < k; r++ {
+		if lo != nil {
+			m.pos[r] = lo[r]
+		}
+		if hi != nil {
+			m.end[r] = hi[r]
+		} else {
+			m.end[r] = runs[r].Len()
+		}
+	}
+	for r := k - 1; r >= 0; r-- {
+		m.adjust(r)
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// exhausted reports whether run r has no rows left in its range.
+func (m *Merge) exhausted(r int) bool { return m.pos[r] >= m.end[r] }
+
+// beats reports whether run a's current row orders before run b's. The -1
+// init sentinel wins every match — that is what parks the first real
+// contestant at each internal node as a "loser" until its sibling subtree's
+// winner arrives — and exhausted runs lose to every live one.
+func (m *Merge) beats(a, b int) bool {
+	if a < 0 {
+		return true
+	}
+	if b < 0 {
+		return false
+	}
+	if m.exhausted(a) {
+		return false
+	}
+	if m.exhausted(b) {
+		return true
+	}
+	ra, rb := &m.runs[a], &m.runs[b]
+	pa, pb := m.pos[a], m.pos[b]
+	c := m.l.CompareRowKeys(
+		ra.Keys, pa*m.l.Words, a, ra.Rows[pa],
+		rb.Keys, pb*m.l.Words, b, rb.Rows[pb], m.tie)
+	if c != 0 {
+		return c < 0
+	}
+	return ra.Seq < rb.Seq
+}
+
+// adjust replays run r's leaf-to-root path, leaving losers in the internal
+// nodes and the new champion in tree[0].
+func (m *Merge) adjust(r int) {
+	winner := r
+	for node := (r + m.k) / 2; node > 0; node /= 2 {
+		if m.beats(int(m.tree[node]), winner) {
+			m.tree[node], winner = int32(winner), int(m.tree[node])
+		}
+	}
+	m.tree[0] = int32(winner)
+}
+
+// Next pops the globally smallest remaining row, returning its run index and
+// source row id; ok is false once all ranges are exhausted.
+func (m *Merge) Next() (run int, row int32, ok bool) {
+	w := int(m.tree[0])
+	if w < 0 || m.exhausted(w) {
+		return 0, 0, false
+	}
+	row = m.runs[w].Rows[m.pos[w]]
+	m.pos[w]++
+	m.adjust(w)
+	return w, row, true
+}
+
+// Splitters samples the runs' key tuples and returns up to parts-1 distinct
+// boundary tuples partitioning the merged key space into roughly equal
+// ranges. Partition p covers keys in [splitter[p-1], splitter[p]) — rows
+// equal to a boundary all land in the partition it opens, so equal keys
+// never straddle partitions and in-partition tie-breaks preserve stability.
+// Only valid for exact layouts; returns nil (one partition) otherwise or
+// when parts <= 1.
+func Splitters(runs []Run, l *Layout, parts int) [][]uint64 {
+	if parts <= 1 || !l.Exact {
+		return nil
+	}
+	w := l.Words
+	// Up to 32 evenly spaced samples per run keeps the sample deterministic
+	// and cheap while bounding partition skew to ~len/32 per run.
+	var sample [][]uint64
+	for i := range runs {
+		r := &runs[i]
+		n := r.Len()
+		if n == 0 {
+			continue
+		}
+		step := n / 32
+		if step == 0 {
+			step = 1
+		}
+		for at := 0; at < n; at += step {
+			sample = append(sample, r.Keys[at*w:(at+1)*w])
+		}
+	}
+	if len(sample) == 0 {
+		return nil
+	}
+	sort.Slice(sample, func(i, j int) bool { return compareTuple(sample[i], sample[j]) < 0 })
+	var out [][]uint64
+	for p := 1; p < parts; p++ {
+		s := sample[p*len(sample)/parts]
+		if len(out) > 0 && compareTuple(out[len(out)-1], s) == 0 {
+			continue // duplicate boundary: fold the empty partition away
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func compareTuple(a, b []uint64) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// LowerBound returns the index of the first row in run whose key tuple is
+// >= bound, so [LowerBound(r, l, lo), LowerBound(r, l, hi)) is run r's slice
+// of the partition [lo, hi). Exact layouts only.
+func LowerBound(r *Run, l *Layout, bound []uint64) int {
+	w := l.Words
+	return sort.Search(r.Len(), func(i int) bool {
+		return compareTuple(r.Keys[i*w:(i+1)*w], bound) >= 0
+	})
+}

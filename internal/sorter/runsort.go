@@ -1,0 +1,107 @@
+package sorter
+
+import "sort"
+
+// KV pairs a single-word normalized key with a block row id. Run generation
+// over a single-word exact layout sorts a []KV with the LSD radix sort below;
+// everything else goes through SortRows.
+type KV struct {
+	Key uint64
+	ID  int32
+}
+
+// radixCutoff is the size below which a comparison sort beats setting up
+// eight counting passes.
+const radixCutoff = 64
+
+// SortKVs sorts items by (Key, ID) and returns the sorted slice, which
+// aliases either items or scratch (both are clobbered; reuse them as buffers
+// for the next call regardless of which was returned). len(scratch) must be
+// >= len(items). Items must be supplied in increasing ID order — the radix
+// passes are stable, so equal keys keep that order.
+//
+// The sort is LSD radix over the key bytes, least-significant first, with a
+// per-pass skip when all keys share that byte (common for biased int64 keys,
+// whose normalized top bytes are nearly constant).
+func SortKVs(items, scratch []KV) []KV {
+	n := len(items)
+	if n < radixCutoff {
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Key != items[j].Key {
+				return items[i].Key < items[j].Key
+			}
+			return items[i].ID < items[j].ID
+		})
+		return items
+	}
+	if len(scratch) < n {
+		panic("sorter: SortKVs scratch smaller than items")
+	}
+
+	// One histogram sweep collects all eight per-byte counts.
+	var counts [8][256]int
+	for i := range items {
+		k := items[i].Key
+		counts[0][byte(k)]++
+		counts[1][byte(k>>8)]++
+		counts[2][byte(k>>16)]++
+		counts[3][byte(k>>24)]++
+		counts[4][byte(k>>32)]++
+		counts[5][byte(k>>40)]++
+		counts[6][byte(k>>48)]++
+		counts[7][byte(k>>56)]++
+	}
+
+	src, dst := items, scratch[:n]
+	for pass := 0; pass < 8; pass++ {
+		c := &counts[pass]
+		shift := uint(8 * pass)
+		if c[byte(src[0].Key>>shift)] == n {
+			continue // every key shares this byte; the pass is a no-op
+		}
+		// Exclusive prefix sum -> starting offset per bucket.
+		sum := 0
+		for b := 0; b < 256; b++ {
+			cnt := c[b]
+			c[b] = sum
+			sum += cnt
+		}
+		for i := range src {
+			b := byte(src[i].Key >> shift)
+			dst[c[b]] = src[i]
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// SortRows sorts ids (block row ids) so that rows order by their normalized
+// key tuples in keys (row-major, stride l.Words, indexed by id), resolving
+// approximate terms through tie and breaking exact ties by id — i.e. by
+// arrival order, which is what makes the sort stable. run is the caller's
+// run index, passed through to tie.
+func SortRows(l *Layout, keys []uint64, ids []int32, run int, tie Tie) {
+	w := l.Words
+	if l.Exact {
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := ids[i], ids[j]
+			ka, kb := int(a)*w, int(b)*w
+			for x := 0; x < w; x++ {
+				if keys[ka+x] != keys[kb+x] {
+					return keys[ka+x] < keys[kb+x]
+				}
+			}
+			return a < b
+		})
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		c := l.CompareRowKeys(keys, int(a)*w, run, a, keys, int(b)*w, run, b, tie)
+		if c != 0 {
+			return c < 0
+		}
+		return a < b
+	})
+}

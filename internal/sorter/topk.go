@@ -1,0 +1,123 @@
+package sorter
+
+// TopK keeps the k smallest (key tuple, row id) items offered to it, for the
+// dedicated ORDER BY ... LIMIT path: run generation offers every block row
+// and the run never materializes more than k entries. Internally it is a
+// bounded max-heap ordered by (key words..., tie, id) — a strict total order,
+// so on equal keys the heap evicts the latest arrival and the surviving k
+// are exactly the rows the stable full sort would have kept first.
+type TopK struct {
+	k    int
+	l    *Layout
+	tie  Tie
+	run  int
+	size int
+	keys []uint64 // heap storage, row-major, stride l.Words
+	ids  []int32
+}
+
+// NewTopK returns a top-k accumulator for one run; run is passed through to
+// tie for approximate layouts (nil tie is fine for exact ones).
+func NewTopK(k int, l *Layout, run int, tie Tie) *TopK {
+	return &TopK{
+		k: k, l: l, tie: tie, run: run,
+		keys: make([]uint64, 0, k*l.Words),
+		ids:  make([]int32, 0, k),
+	}
+}
+
+// Len returns the number of retained items.
+func (t *TopK) Len() int { return t.size }
+
+// cmpStored orders heap items i and j.
+func (t *TopK) cmpStored(i, j int) int {
+	w := t.l.Words
+	c := t.l.CompareRowKeys(t.keys, i*w, t.run, t.ids[i], t.keys, j*w, t.run, t.ids[j], t.tie)
+	if c != 0 {
+		return c
+	}
+	if t.ids[i] < t.ids[j] {
+		return -1
+	}
+	return 1
+}
+
+// cmpCand orders a candidate (key, id) against heap item j.
+func (t *TopK) cmpCand(key []uint64, id int32, j int) int {
+	c := t.l.CompareRowKeys(key, 0, t.run, id, t.keys, j*t.l.Words, t.run, t.ids[j], t.tie)
+	if c != 0 {
+		return c
+	}
+	if id < t.ids[j] {
+		return -1
+	}
+	return 1
+}
+
+func (t *TopK) swap(i, j int) {
+	w := t.l.Words
+	for x := 0; x < w; x++ {
+		t.keys[i*w+x], t.keys[j*w+x] = t.keys[j*w+x], t.keys[i*w+x]
+	}
+	t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+}
+
+// siftUp restores the max-heap property from leaf i.
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.cmpStored(i, parent) <= 0 {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property from root i within heap size n.
+func (t *TopK) siftDown(i, n int) {
+	for {
+		big := i
+		if l := 2*i + 1; l < n && t.cmpStored(l, big) > 0 {
+			big = l
+		}
+		if r := 2*i + 2; r < n && t.cmpStored(r, big) > 0 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		t.swap(i, big)
+		i = big
+	}
+}
+
+// Offer considers one item and reports whether it was retained; false means
+// the row was pruned (it cannot be among the k smallest).
+func (t *TopK) Offer(key []uint64, id int32) bool {
+	w := t.l.Words
+	if t.size < t.k {
+		t.keys = append(t.keys, key[:w]...)
+		t.ids = append(t.ids, id)
+		t.size++
+		t.siftUp(t.size - 1)
+		return true
+	}
+	if t.cmpCand(key, id, 0) >= 0 {
+		return false // not smaller than the current k-th item
+	}
+	copy(t.keys[:w], key[:w])
+	t.ids[0] = id
+	t.siftDown(0, t.size)
+	return true
+}
+
+// Sorted heap-sorts the retained items in place and returns them ascending.
+// The TopK must not be offered to afterwards.
+func (t *TopK) Sorted() (keys []uint64, ids []int32) {
+	for n := t.size - 1; n > 0; n-- {
+		t.swap(0, n)
+		t.siftDown(0, n)
+	}
+	return t.keys, t.ids
+}

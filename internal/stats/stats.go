@@ -67,6 +67,13 @@ type WorkOrder struct {
 	AggFastRows     int64 // rows through the vectorized fixed-width path
 	AggFallbackRows int64 // rows through the reference map path
 
+	// Sort-kernel counters (see core.Output).
+	SortRuns         int64 // sorted runs produced by run generation
+	SortMergeFanout  int64 // range-partitioned merge work orders
+	SortFastRows     int64 // rows sorted through the normalized-key path
+	SortFallbackRows int64 // rows sorted through the reference Datum path
+	TopKPruned       int64 // rows pruned by the bounded top-k heap
+
 	// Robustness fields: which execution attempt this record is (1 = first)
 	// and whether the attempt failed. Failed attempts are rolled back by the
 	// scheduler, so their row and kernel counters are excluded from operator
@@ -100,6 +107,12 @@ type OpTotals struct {
 	AggMergeFanout  int64
 	AggFastRows     int64
 	AggFallbackRows int64
+
+	SortRuns         int64
+	SortMergeFanout  int64
+	SortFastRows     int64
+	SortFallbackRows int64
+	TopKPruned       int64
 
 	// FailedAttempts counts rolled-back work-order attempts of the operator
 	// (they are included in Count and WallTotal — the time was spent — but
@@ -313,6 +326,11 @@ func (r *Run) PerOp() []OpTotals {
 		t.AggMergeFanout += w.AggMergeFanout
 		t.AggFastRows += w.AggFastRows
 		t.AggFallbackRows += w.AggFallbackRows
+		t.SortRuns += w.SortRuns
+		t.SortMergeFanout += w.SortMergeFanout
+		t.SortFastRows += w.SortFastRows
+		t.SortFallbackRows += w.SortFallbackRows
+		t.TopKPruned += w.TopKPruned
 	}
 	out := make([]OpTotals, 0, len(m))
 	for _, t := range m {
@@ -362,6 +380,21 @@ func (r *Run) AggKernels() (partials, mergeFanout, fastRows, fallbackRows int64)
 		mergeFanout += t.AggMergeFanout
 		fastRows += t.AggFastRows
 		fallbackRows += t.AggFallbackRows
+	}
+	return
+}
+
+// SortKernels sums the sort-kernel counters across all work orders: sorted
+// runs generated, merge work orders run (the merge fan-out), rows sorted
+// through the normalized-key vs the reference path, and rows pruned by the
+// top-k heap.
+func (r *Run) SortKernels() (runs, mergeFanout, fastRows, fallbackRows, topkPruned int64) {
+	for _, t := range r.PerOp() {
+		runs += t.SortRuns
+		mergeFanout += t.SortMergeFanout
+		fastRows += t.SortFastRows
+		fallbackRows += t.SortFallbackRows
+		topkPruned += t.TopKPruned
 	}
 	return
 }

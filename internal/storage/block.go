@@ -353,6 +353,59 @@ func (b *Block) AppendFromMany(src *Block, rows []int32, projIdx []int) int {
 	return len(take)
 }
 
+// AppendGather appends rows gathered from multiple source blocks — row i of
+// the batch is row rows[i] of srcs[srcIdx[i]] — stopping when the block
+// fills, and returns how many rows were appended. All sources must share a
+// schema; projIdx maps destination columns to source columns. Like
+// AppendFromMany, layouts resolve once per (column, source-switch), so a
+// merged sort stream whose consecutive rows mostly come from the same run
+// copies in tight offset-stride segments; this is the sort emit kernel that
+// replaces per-row AppendFrom.
+func (b *Block) AppendGather(srcs []*Block, srcIdx []int32, rows []int32, projIdx []int) int {
+	free := b.capacity - b.n
+	if free <= 0 || len(rows) == 0 {
+		return 0
+	}
+	if len(rows) < free {
+		free = len(rows)
+	}
+	take := rows[:free]
+	idx := srcIdx[:free]
+	for ci, sc := range projIdx {
+		w := b.schema.ColWidth(ci)
+		var dstOff, dstStride int
+		if b.format == RowStore {
+			dstOff = b.n*b.schema.RowWidth() + b.schema.ColOffset(ci)
+			dstStride = b.schema.RowWidth()
+		} else {
+			dstOff = b.colOff[ci] + b.n*w
+			dstStride = w
+		}
+		d := dstOff
+		cur := int32(-1)
+		var src *Block
+		var srcOff, srcStride int
+		for i, r := range take {
+			if idx[i] != cur {
+				cur = idx[i]
+				src = srcs[cur]
+				if src.format == RowStore {
+					srcOff = src.schema.ColOffset(sc)
+					srcStride = src.schema.RowWidth()
+				} else {
+					srcOff = src.colOff[sc]
+					srcStride = w
+				}
+			}
+			s := srcOff + int(r)*srcStride
+			copy(b.data[d:d+w], src.data[s:s+w])
+			d += dstStride
+		}
+	}
+	b.n += len(take)
+	return len(take)
+}
+
 // Row materializes row i as a datum slice (Char datums alias block memory).
 func (b *Block) Row(i int) []types.Datum {
 	out := make([]types.Datum, b.schema.NumCols())

@@ -42,6 +42,13 @@ type OpMetrics struct {
 	BusyNS    int64  `json:"busy_ns"`   // summed attempt wall time
 	QueueNS   int64  `json:"queue_ns"`  // summed enqueue→start latency
 	Demotions int64  `json:"demotions"` // fast-path → reference-path demotions
+
+	// Sort-kernel counters (zero for non-sort operators).
+	SortRuns         int64 `json:"sort_runs,omitempty"`          // sorted runs generated
+	SortMergeFanout  int64 `json:"sort_merge_fanout,omitempty"`  // parallel merge work orders
+	SortFastRows     int64 `json:"sort_fast_rows,omitempty"`     // rows via normalized keys
+	SortFallbackRows int64 `json:"sort_fallback_rows,omitempty"` // rows via the reference path
+	TopKPruned       int64 `json:"topk_pruned,omitempty"`        // rows pruned by the top-k heap
 }
 
 // EdgeMetrics aggregates one pipelined edge's gauge samples.
@@ -79,6 +86,9 @@ func (t *Tracer) Snapshot() Metrics {
 				Op: id, Name: name, Spans: a.spans, Failed: a.failed, Retries: a.retries,
 				Rows: a.rows, RowsOut: a.rowsOut, BusyNS: a.busyNS, QueueNS: a.queueNS,
 				Demotions: a.demotions,
+				SortRuns:  a.sortRuns, SortMergeFanout: a.sortMergeFanout,
+				SortFastRows: a.sortFastRows, SortFallbackRows: a.sortFallbackRows,
+				TopKPruned: a.topkPruned,
 			})
 		}
 		for id, info := range r.edges {
@@ -159,6 +169,22 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 		func(run RunMetrics, add func(string, int64)) {
 			for _, o := range run.Ops {
 				add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.RowsOut)
+			}
+		})
+	emit("uot_sort_runs_total", "Sorted runs generated per operator (sort fast path).", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				if o.SortRuns > 0 {
+					add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.SortRuns)
+				}
+			}
+		})
+	emit("uot_topk_pruned_total", "Rows pruned by the bounded top-k heap per operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				if o.TopKPruned > 0 {
+					add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.TopKPruned)
+				}
 			}
 		})
 	edgeLabel := func(e EdgeMetrics) string {

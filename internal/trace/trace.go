@@ -95,6 +95,13 @@ type Event struct {
 	RowsOut   int64 // output rows produced by the attempt
 	Demotions int64 // fast-path → reference-path demotions it triggered
 
+	// Sort-kernel counters (KindSpan; see core.Output).
+	SortRuns         int64 // sorted runs produced by run generation
+	SortMergeFanout  int64 // range-partitioned merge work orders
+	SortFastRows     int64 // rows sorted through the normalized-key path
+	SortFallbackRows int64 // rows sorted through the reference Datum path
+	TopKPruned       int64 // rows pruned by the bounded top-k heap
+
 	// Edge-sample gauges (KindEdge).
 	Buffered   int32 // blocks buffered on the edge after the transition
 	UoT        int64 // the edge's current UoT threshold in blocks
@@ -120,6 +127,10 @@ type opAgg struct {
 	rows, rowsOut          int64
 	busyNS, queueNS        int64
 	demotions              int64
+
+	sortRuns, sortMergeFanout      int64
+	sortFastRows, sortFallbackRows int64
+	topkPruned                     int64
 }
 
 // edgeAgg accumulates per-edge metrics outside the ring.
@@ -301,6 +312,11 @@ func (t *Tracer) Span(e Event) {
 		} else {
 			a.rows += e.Rows
 			a.rowsOut += e.RowsOut
+			a.sortRuns += e.SortRuns
+			a.sortMergeFanout += e.SortMergeFanout
+			a.sortFastRows += e.SortFastRows
+			a.sortFallbackRows += e.SortFallbackRows
+			a.topkPruned += e.TopKPruned
 		}
 	}
 	t.recordLocked(e)

@@ -160,6 +160,24 @@ func cmpFloat(x, y float64) int {
 // Equal reports whether two datums are equal under Compare.
 func Equal(a, b Datum) bool { return Compare(a, b) == 0 }
 
+// CompareRows orders two same-arity datum rows term by term under Compare,
+// flipping term i when desc[i] is true (nil desc means all ascending). It is
+// the one multi-term ordering used by both the engine's final-result sort
+// and the sort operator's reference path.
+func CompareRows(a, b []Datum, desc []bool) int {
+	for i := range a {
+		c := Compare(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if desc != nil && desc[i] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
 // String renders the datum for result printing and tests.
 func (d Datum) String() string {
 	switch d.Ty {
