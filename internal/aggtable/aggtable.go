@@ -349,13 +349,14 @@ func MergeCell(dst, src *Cell, a Agg) {
 }
 
 // MergePartition folds every src group whose hash falls in radix partition
-// part (the top `bits` hash bits, see types.Radix) into dst. Partitions are
-// disjoint by construction, so concurrent merge work orders over distinct
-// partitions share nothing.
-func (t *Table) MergePartition(src *Table, part uint64, bits uint, aggs []Agg) {
+// part of pr (see types.Partitioner) into dst. Partitions are disjoint by
+// construction, so concurrent merge work orders over distinct partitions
+// share nothing; a single-partition pr (types.NewPartitioner(1)) with part 0
+// folds every group.
+func (t *Table) MergePartition(src *Table, part int, pr types.Partitioner, aggs []Agg) {
 	for g := 0; g < src.nGroups; g++ {
 		h := src.hashes[g]
-		if types.Radix(h, bits) != part {
+		if pr.Of(h) != part {
 			continue
 		}
 		var b int64

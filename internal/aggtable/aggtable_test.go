@@ -131,15 +131,17 @@ func TestMergePartitionCoversAllGroupsOnce(t *testing.T) {
 
 	// Oracle: merge everything into one table.
 	whole := New(len(aggs), false, 8)
-	whole.MergePartition(a, 0, 0, aggs) // bits=0: single partition covers all
-	whole.MergePartition(b, 0, 0, aggs)
+	one := types.NewPartitioner(1)
+	whole.MergePartition(a, 0, one, aggs) // single partition covers all
+	whole.MergePartition(b, 0, one, aggs)
 
 	merged := map[int64]Cell{}
 	var total int
-	for p := uint64(0); p < 1<<bits; p++ {
+	pr := types.NewPartitioner(1 << bits)
+	for p := 0; p < pr.Parts(); p++ {
 		dst := New(len(aggs), false, 8)
-		dst.MergePartition(a, p, bits, aggs)
-		dst.MergePartition(b, p, bits, aggs)
+		dst.MergePartition(a, p, pr, aggs)
+		dst.MergePartition(b, p, pr, aggs)
 		total += dst.Len()
 		for g := 0; g < dst.Len(); g++ {
 			k, _ := dst.Key(g)

@@ -24,7 +24,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
+	if len(exps) != 24 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	seen := map[string]bool{}
@@ -74,7 +74,7 @@ func TestDatasetCaching(t *testing.T) {
 // end-to-end at tiny scale and sanity-checks their structure.
 func TestCheapExperimentsProduceRows(t *testing.T) {
 	h := tiny()
-	for _, id := range []string{"EQ1", "SEC5C", "FIG2", "TAB3", "TAB4", "SEC6C", "SEC6B", "TAB2", "CHAOS"} {
+	for _, id := range []string{"EQ1", "SEC5C", "FIG2", "TAB3", "TAB4", "SEC6C", "SEC6B", "TAB2", "CHAOS", "EXCH"} {
 		e, err := Find(id)
 		if err != nil {
 			t.Fatal(err)

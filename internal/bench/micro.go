@@ -311,6 +311,10 @@ func microBenchmarks() []struct {
 		{"agg/group/vectorized/g=1", buildRows, benchAgg(1, true)},
 		{"agg/group/reference/g=8", buildRows, benchAgg(8, false)},
 		{"agg/group/vectorized/g=8", buildRows, benchAgg(8, true)},
+		{"exchange/scatter/g=1", buildRows, benchScatter(1)},
+		{"exchange/scatter/g=8", buildRows, benchScatter(8)},
+		{"hashtable/insert/partitioned/g=8", buildRows, benchPartInsert(8)},
+		{"agg/group/partitioned/g=8", buildRows, benchPartAgg(8)},
 		{"sort/reference/g=1", sortRows, benchSort(1, false, 0, microSortBlocks)},
 		{"sort/fast/g=1", sortRows, benchSort(1, true, 0, microSortBlocks)},
 		{"sort/reference/g=8", sortRows, benchSort(8, false, 0, microSortBlocks)},
@@ -361,6 +365,8 @@ func RunMicro() *MicroReport {
 	speedup("filterblock_scratch_speedup", "expr/filterblock/alloc", "expr/filterblock/scratch")
 	speedup("agg_vectorized_speedup_g1", "agg/group/reference/g=1", "agg/group/vectorized/g=1")
 	speedup("agg_vectorized_speedup_g8", "agg/group/reference/g=8", "agg/group/vectorized/g=8")
+	speedup("insert_partitioned_speedup_g8", "hashtable/insert/block/g=8", "hashtable/insert/partitioned/g=8")
+	speedup("agg_partitioned_speedup_g8", "agg/group/vectorized/g=8", "agg/group/partitioned/g=8")
 	speedup("sort_fast_speedup_g1", "sort/reference/g=1", "sort/fast/g=1")
 	speedup("sort_fast_speedup_g8", "sort/reference/g=8", "sort/fast/g=8")
 	speedup("topk_fast_speedup_g8", "topk/reference/limit=100/g=8", "topk/fast/limit=100/g=8")

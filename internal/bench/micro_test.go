@@ -20,6 +20,13 @@ func BenchmarkMicroAggVecG1(b *testing.B)      { benchAgg(1, true)(b) }
 func BenchmarkMicroAggRefG8(b *testing.B)      { benchAgg(8, false)(b) }
 func BenchmarkMicroAggVecG8(b *testing.B)      { benchAgg(8, true)(b) }
 
+// Exchange suite: the scatter kernel plus the partition-local build and agg
+// pipelines it feeds (owned tables, no shard locks, no radix merge).
+func BenchmarkMicroExchangeScatterG1(b *testing.B)   { benchScatter(1)(b) }
+func BenchmarkMicroExchangeScatterG8(b *testing.B)   { benchScatter(8)(b) }
+func BenchmarkMicroInsertPartitionedG8(b *testing.B) { benchPartInsert(8)(b) }
+func BenchmarkMicroAggPartitionedG8(b *testing.B)    { benchPartAgg(8)(b) }
+
 // The sort smoke wrappers run a 128-block (131072-row) prefix of the micro
 // dataset so CI's -benchtime 10x pass stays fast; the full 1M-row shape runs
 // through cmd/uotbench -micro.

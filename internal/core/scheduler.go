@@ -553,6 +553,10 @@ func (s *sched) onComplete(r wres) {
 			SortFallbackRows: r.out.SortFallbackRows,
 			TopKPruned:       r.out.TopKPruned,
 
+			ExchangeRows:      r.out.ExchangeRows,
+			RepartitionFanout: r.out.RepartitionFanout,
+			PartitionSkew:     r.out.PartitionSkew,
+
 			Attempt:   r.attempt,
 			Failed:    r.err != nil,
 			Demotions: r.out.Demotions,
@@ -584,6 +588,10 @@ func (s *sched) onComplete(r wres) {
 			SortFastRows:     r.out.SortFastRows,
 			SortFallbackRows: r.out.SortFallbackRows,
 			TopKPruned:       r.out.TopKPruned,
+
+			ExchangeRows:      r.out.ExchangeRows,
+			RepartitionFanout: r.out.RepartitionFanout,
+			PartitionSkew:     r.out.PartitionSkew,
 		})
 	}
 	if retry {
@@ -622,7 +630,7 @@ func (s *sched) onComplete(r wres) {
 		}
 	}
 	if s.runErr == nil {
-		s.emit(st, r.out.Blocks)
+		s.emit(st, r.out.Blocks, r.out.partTags)
 	} else {
 		// A straggler that completed after the run failed: its output
 		// will never be delivered, so reclaim it here.
@@ -633,30 +641,66 @@ func (s *sched) onComplete(r wres) {
 	s.check(st)
 }
 
-// emit routes blocks produced by st into its outgoing pipelined edges.
-func (s *sched) emit(st *opState, blocks []*storage.Block) {
+// emit routes blocks produced by st into its outgoing pipelined edges. An
+// untagged block goes to every pipelined edge (the pre-exchange broadcast
+// semantics); a partition-tagged block goes only to edges carrying its
+// partition (plus any unpartitioned edges). A tagged block matching no edge
+// is reclaimed immediately, preserving the zero-leak invariants.
+func (s *sched) emit(st *opState, blocks []*storage.Block, tags map[*storage.Block]int) {
 	if len(blocks) == 0 {
 		return
 	}
-	// Reference count = number of non-adopting pipelined consumers.
-	refs := 0
-	for _, es := range st.out {
-		if es.e.Kind == Pipelined && !s.states[es.e.To].op.AdoptsInputs() {
-			refs++
-		}
-	}
+	touched := false
 	for _, b := range blocks {
+		tag := -1
+		if t, ok := tags[b]; ok {
+			tag = t
+		}
+		// Reference count = number of non-adopting pipelined consumers the
+		// block is actually routed to.
+		refs, matched := 0, false
+		for _, es := range st.out {
+			if es.e.Kind != Pipelined || !edgeWants(es.e, tag) {
+				continue
+			}
+			matched = true
+			if !s.states[es.e.To].op.AdoptsInputs() {
+				refs++
+			}
+		}
+		if tag >= 0 && !matched {
+			s.ctx.Pool.Release(b)
+			if s.ctx.Sim != nil {
+				s.ctx.Sim.Evict(b)
+			}
+			continue
+		}
 		if refs > 0 {
 			s.rc[b] = refs
 		}
+		for _, es := range st.out {
+			if es.e.Kind == Pipelined && edgeWants(es.e, tag) {
+				es.buf = append(es.buf, b)
+			}
+		}
+		touched = true
+	}
+	if !touched {
+		return
 	}
 	for _, es := range st.out {
-		if es.e.Kind != Pipelined {
-			continue
+		if es.e.Kind == Pipelined {
+			s.tryFlush(es)
 		}
-		es.buf = append(es.buf, blocks...)
-		s.tryFlush(es)
 	}
+}
+
+// edgeWants reports whether a pipelined edge accepts a block with the given
+// partition tag (-1 = untagged): unpartitioned edges accept everything,
+// partitioned edges only their own partition. Untagged blocks broadcast.
+func edgeWants(e Edge, tag int) bool {
+	p := e.Partition()
+	return p < 0 || tag < 0 || p == tag
 }
 
 // tryFlush hands buffered blocks to the consumer in UoT-sized groups. When
@@ -822,10 +866,25 @@ func (s *sched) finish(st *opState) {
 		}
 	}
 
-	// Partially-filled output blocks are transferred at operator end.
+	// Partially-filled output blocks are transferred at operator end. A
+	// partitioned producer additionally drains each partition's pending
+	// partial, tagged so it reaches only that partition's consumers.
 	if s.runErr == nil {
 		parts := s.ctx.Pool.TakePartials(int(st.id))
-		s.emit(st, parts)
+		s.emit(st, parts, nil)
+		if po, ok := st.op.(PartitionedOutput); ok {
+			for p := 0; p < po.OutputPartitions(); p++ {
+				pb := s.ctx.Pool.TakePartials(PartOwner(st.id, p))
+				if len(pb) == 0 {
+					continue
+				}
+				tags := make(map[*storage.Block]int, len(pb))
+				for _, b := range pb {
+					tags[b] = p
+				}
+				s.emit(st, pb, tags)
+			}
+		}
 	}
 
 	st.op.Cleanup(s.ctx)
@@ -886,6 +945,13 @@ func (s *sched) cleanup() {
 		}
 		for _, b := range s.ctx.Pool.TakePartials(int(st.id)) {
 			release(b)
+		}
+		if po, ok := st.op.(PartitionedOutput); ok {
+			for p := 0; p < po.OutputPartitions(); p++ {
+				for _, b := range s.ctx.Pool.TakePartials(PartOwner(st.id, p)) {
+					release(b)
+				}
+			}
 		}
 		// Blocks materialized for an emit stage that will never run are in
 		// no refcount, edge, or partial structure — only the operator knows

@@ -123,7 +123,17 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		RetryBackoff:   opts.RetryBackoff,
 		WODeadline:     opts.WorkOrderDeadline,
 	}
-	b.plan.MaxDOP = opts.MaxDOP
+	// Merge (not overwrite): partitioned plans pre-seed MaxDOP with the
+	// per-partition build clones' cap of 1, which must survive execution
+	// options that don't mention those operators.
+	if opts.MaxDOP != nil {
+		if b.plan.MaxDOP == nil {
+			b.plan.MaxDOP = make(map[core.OpID]int, len(opts.MaxDOP))
+		}
+		for id, d := range opts.MaxDOP {
+			b.plan.MaxDOP[id] = d
+		}
+	}
 	err := core.Run(b.plan, ctx, opts.UoTBlocks)
 	run.Finish()
 	if opts.Faults != nil {
@@ -161,6 +171,11 @@ type Node struct {
 	ID     core.OpID
 	Schema *storage.Schema
 	op     core.Operator
+	// srcs, when non-empty, lists the operators that actually produce this
+	// node's output stream — a partitioned subplan ends in one clone per
+	// partition, and a downstream consumer must pipe from all of them. For
+	// ordinary single-operator nodes it is empty and ID is the sole source.
+	srcs []core.OpID
 }
 
 // Builder wires operators into a core.Plan, adding the pipelined and
@@ -168,6 +183,10 @@ type Node struct {
 type Builder struct {
 	plan    *core.Plan
 	collect *exec.CollectOp
+	// parts is the default exchange fan-out used when a Partitioned* helper
+	// is called with parts == 0 (set by SetPartitions; 0 means "let the
+	// helper consult costmodel.Partitions").
+	parts int
 }
 
 // NewBuilder returns an empty plan builder.
@@ -175,6 +194,20 @@ func NewBuilder() *Builder { return &Builder{plan: &core.Plan{}} }
 
 // Plan returns the underlying plan (for custom wiring).
 func (b *Builder) Plan() *core.Plan { return b.plan }
+
+// pipeFrom adds the pipelined edge(s) feeding operator `to` from node `from`:
+// one edge for an ordinary node, one per partition clone for a node produced
+// by a Partitioned* helper (the scheduler already merges multiple pipelined
+// edges into one consumer input).
+func (b *Builder) pipeFrom(from *Node, to core.OpID) {
+	if len(from.srcs) == 0 {
+		b.plan.Pipe(from.ID, to, 0, 0)
+		return
+	}
+	for _, src := range from.srcs {
+		b.plan.Pipe(src, to, 0, 0)
+	}
+}
 
 // Select adds a select operator. If spec.Base is nil, `from` must name the
 // pipelined input node (whose schema becomes spec.InputSchema).
@@ -188,7 +221,7 @@ func (b *Builder) Select(from *Node, spec exec.SelectSpec) *Node {
 	op := exec.NewSelect(spec)
 	id := exec.AddOp(b.plan, op)
 	if spec.Base == nil {
-		b.plan.Pipe(from.ID, id, 0, 0)
+		b.pipeFrom(from, id)
 	}
 	// LIP filters require the referenced builds to complete first.
 	for _, l := range spec.LIPs {
@@ -205,7 +238,7 @@ func (b *Builder) Build(from *Node, spec exec.BuildSpec) (*Node, *exec.BuildHash
 	spec.InputSchema = from.Schema
 	op := exec.NewBuildHash(spec)
 	id := exec.AddOp(b.plan, op)
-	b.plan.Pipe(from.ID, id, 0, 0)
+	b.pipeFrom(from, id)
 	return &Node{ID: id, Schema: from.Schema, op: op}, op
 }
 
@@ -216,7 +249,7 @@ func (b *Builder) Probe(from *Node, build *Node, spec exec.ProbeSpec) *Node {
 	spec.Build = build.op.(*exec.BuildHashOp)
 	op := exec.NewProbe(spec)
 	id := exec.AddOp(b.plan, op)
-	b.plan.Pipe(from.ID, id, 0, 0)
+	b.pipeFrom(from, id)
 	b.plan.Block(build.ID, id)
 	return &Node{ID: id, Schema: op.OutSchema(), op: op}
 }
@@ -226,7 +259,7 @@ func (b *Builder) Agg(from *Node, spec exec.AggOpSpec) *Node {
 	spec.InputSchema = from.Schema
 	op := exec.NewAgg(spec)
 	id := exec.AddOp(b.plan, op)
-	b.plan.Pipe(from.ID, id, 0, 0)
+	b.pipeFrom(from, id)
 	return &Node{ID: id, Schema: op.OutSchema(), op: op}
 }
 
@@ -244,7 +277,7 @@ func (b *Builder) Sort(from *Node, spec exec.SortSpec) *Node {
 	spec.InputSchema = from.Schema
 	op := exec.NewSort(spec)
 	id := exec.AddOp(b.plan, op)
-	b.plan.Pipe(from.ID, id, 0, 0)
+	b.pipeFrom(from, id)
 	return &Node{ID: id, Schema: op.OutSchema(), op: op}
 }
 
@@ -270,7 +303,7 @@ func (b *Builder) Collect(from *Node) *Node {
 	}
 	b.collect = exec.NewCollect(from.Schema, 128<<10, storage.RowStore)
 	id := exec.AddOp(b.plan, b.collect)
-	b.plan.Pipe(from.ID, id, 0, 0)
+	b.pipeFrom(from, id)
 	return &Node{ID: id, Schema: from.Schema, op: b.collect}
 }
 

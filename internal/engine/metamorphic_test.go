@@ -26,6 +26,10 @@ type mmCfg struct {
 	Workers int
 	UoT     int
 	Temp    int
+	// Parts > 1 rebuilds the plan with a partitioned join and aggregation
+	// (exchange + per-partition clones); like the other fields it must not
+	// change results — partitioning is a scheduling choice, not semantics.
+	Parts int
 }
 
 func (c mmCfg) String() string {
@@ -33,7 +37,7 @@ func (c mmCfg) String() string {
 	if c.UoT == core.UoTTable {
 		uot = "table"
 	}
-	return fmt.Sprintf("workers=%d uot=%s temp=%d", c.Workers, uot, c.Temp)
+	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d", c.Workers, uot, c.Temp, c.Parts)
 }
 
 var mmBase = mmCfg{Workers: 1, UoT: 1, Temp: 16 << 10}
@@ -51,6 +55,10 @@ var mmVariants = []mmCfg{
 	{Workers: 1, UoT: 1, Temp: 128 << 10},
 	{Workers: 7, UoT: core.UoTTable, Temp: 4 << 10},
 	{Workers: 2, UoT: 3, Temp: 128 << 10},
+	{Workers: 1, UoT: 1, Temp: 16 << 10, Parts: 2},
+	{Workers: 7, UoT: 1, Temp: 16 << 10, Parts: 8},
+	{Workers: 4, UoT: 64, Temp: 4 << 10, Parts: 4},
+	{Workers: 7, UoT: core.UoTTable, Temp: 16 << 10, Parts: 2},
 }
 
 // mmSpec is a fully-resolved random plan: data shape and operator choices.
@@ -134,8 +142,9 @@ func genSpec(seed int64) *mmSpec {
 	return s
 }
 
-// build constructs a fresh plan from the spec.
-func (s *mmSpec) build() *engine.Builder {
+// build constructs a fresh plan from the spec; parts > 1 uses the
+// partitioned join and aggregation helpers instead of the shared-state ones.
+func (s *mmSpec) build(parts int) *engine.Builder {
 	b := engine.NewBuilder()
 	fs, ds := s.fact.Schema(), s.dim.Schema()
 
@@ -176,13 +185,19 @@ func (s *mmSpec) build() *engine.Builder {
 		case 3:
 			jt = exec.LeftAnti
 		}
-		bld, _ := b.Build(selDim, exec.BuildSpec{
+		bspec := exec.BuildSpec{
 			Name: "mm_build", KeyCols: []int{0}, Payload: payload, ExpectedRows: s.dimKeys,
-		})
-		aggInput = b.Probe(selFact, bld, exec.ProbeSpec{
+		}
+		pspec := exec.ProbeSpec{
 			Name: "mm_probe", KeyCols: []int{0}, JoinType: jt,
 			ProbeProj: []int{0, 1, 2}, BuildProj: buildProj, Rename: rename,
-		})
+		}
+		if parts > 1 {
+			aggInput = b.PartitionedHashJoin(selDim, selFact, bspec, pspec, parts)
+		} else {
+			bld, _ := b.Build(selDim, bspec)
+			aggInput = b.Probe(selFact, bld, pspec)
+		}
 	}
 
 	var aggSpecs []exec.AggSpec
@@ -193,12 +208,13 @@ func (s *mmSpec) build() *engine.Builder {
 		}
 		aggSpecs = append(aggSpecs, spec)
 	}
-	agg := b.Agg(aggInput, exec.AggOpSpec{
+	aggSpec := exec.AggOpSpec{
 		Name:         "mm_agg",
 		GroupBy:      []expr.Expr{expr.C(aggInput.Schema, "g")},
 		GroupByNames: []string{"g"},
 		Aggs:         aggSpecs,
-	})
+	}
+	agg := b.PartitionedAgg(aggInput, aggSpec, parts)
 	srt := b.Sort(agg, exec.SortSpec{
 		Name:  "mm_sort",
 		Terms: []exec.SortTerm{{Key: expr.C(agg.Schema, "g"), Desc: s.sortDesc}},
@@ -211,7 +227,7 @@ func (s *mmSpec) build() *engine.Builder {
 // runEncoded executes the spec under cfg and returns the canonicalized
 // result (int64-only, so equality is exact).
 func (s *mmSpec) runEncoded(cfg mmCfg) (string, error) {
-	res, err := engine.Execute(s.build(), engine.Options{
+	res, err := engine.Execute(s.build(cfg.Parts), engine.Options{
 		Workers: cfg.Workers, UoTBlocks: cfg.UoT, TempBlockBytes: cfg.Temp,
 	})
 	if err != nil {
@@ -232,6 +248,7 @@ func (s *mmSpec) shrinkConfig(t *testing.T, failing mmCfg, want string) mmCfg {
 			func(c mmCfg) mmCfg { c.Workers = mmBase.Workers; return c },
 			func(c mmCfg) mmCfg { c.UoT = mmBase.UoT; return c },
 			func(c mmCfg) mmCfg { c.Temp = mmBase.Temp; return c },
+			func(c mmCfg) mmCfg { c.Parts = mmBase.Parts; return c },
 		} {
 			trial := reduce(cur)
 			if trial == cur {

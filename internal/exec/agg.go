@@ -47,6 +47,10 @@ const (
 	aggParts    = 1 << aggPartBits
 )
 
+// aggPartitioner maps group hashes to merge partitions (shared by Final's
+// fan-out and the merge work orders' filters).
+var aggPartitioner = types.NewPartitioner(aggParts)
+
 // AggOp is a hash aggregation operator with two execution paths.
 //
 // The vectorized fast path handles the common TPC-H/SSB shape: at most two
@@ -84,6 +88,7 @@ type AggOp struct {
 
 	// Fast-path plan: filled by initFastPath when the operator qualifies.
 	fast      bool
+	partLocal bool
 	keyCols   []int
 	keyIsDate []bool
 	fAggs     []fastAgg
@@ -157,6 +162,11 @@ type AggOpSpec struct {
 	// row-at-a-time map path (the equivalence tests' oracle and the micro
 	// benchmarks' baseline).
 	ForceReference bool
+	// PartitionLocal marks a per-partition clone downstream of an exchange:
+	// the clone sees only its partition's groups, so Final issues a single
+	// merge work order instead of fanning out over the radix partitions —
+	// the cross-partition parallelism already comes from the exchange.
+	PartitionLocal bool
 }
 
 // NewAgg builds an aggregation operator.
@@ -173,11 +183,12 @@ func NewAgg(spec AggOpSpec) *AggOp {
 		cols = append(cols, storage.Column{Name: a.Name, Type: aggType(a), Width: aggWidth(a)})
 	}
 	op := &AggOp{
-		name:    spec.Name,
-		groupBy: spec.GroupBy,
-		aggs:    spec.Aggs,
-		out:     storage.NewSchema(cols...),
-		groups:  make(map[string]*aggGroup),
+		name:      spec.Name,
+		groupBy:   spec.GroupBy,
+		aggs:      spec.Aggs,
+		out:       storage.NewSchema(cols...),
+		groups:    make(map[string]*aggGroup),
+		partLocal: spec.PartitionLocal,
 	}
 	all := append([]expr.Expr{}, spec.GroupBy...)
 	for _, a := range spec.Aggs {
@@ -305,9 +316,15 @@ func (o *AggOp) Final(ctx *core.ExecCtx) []core.WorkOrder {
 		if len(o.groupBy) == 0 {
 			return []core.WorkOrder{&aggScalarFinalWO{op: o}}
 		}
+		if o.partLocal {
+			// Partition-local clone: a single merge with the identity
+			// partitioner (every group maps to partition 0) — the exchange
+			// already split the group space across clones.
+			return []core.WorkOrder{&aggMergeWO{op: o, part: 0, pr: types.NewPartitioner(1)}}
+		}
 		wos := make([]core.WorkOrder, aggParts)
 		for p := 0; p < aggParts; p++ {
-			wos[p] = &aggMergeWO{op: o, part: uint64(p)}
+			wos[p] = &aggMergeWO{op: o, part: p, pr: aggPartitioner}
 		}
 		return wos
 	}
@@ -714,7 +731,8 @@ func (o *AggOp) merge(ctx *core.ExecCtx, local map[string]*aggGroup) {
 // work orders concurrently with no locking.
 type aggMergeWO struct {
 	op   *AggOp
-	part uint64
+	part int
+	pr   types.Partitioner
 }
 
 func (w *aggMergeWO) Inputs() []*storage.Block { return nil }
@@ -744,15 +762,15 @@ func (w *aggMergeWO) Run(ctx *core.ExecCtx, out *core.Output) error {
 		// directly without building a merge table.
 		t := tabs[0]
 		for g := 0; g < t.Len(); g++ {
-			if types.Radix(t.Hash(g), aggPartBits) == w.part {
+			if w.pr.Of(t.Hash(g)) == w.part {
 				o.emitFastGroup(em, out, t, g, row)
 			}
 		}
 		return nil
 	}
-	dst := aggtable.New(len(o.aggs), len(o.keyCols) == 2, groupsHint/aggParts+16)
+	dst := aggtable.New(len(o.aggs), len(o.keyCols) == 2, groupsHint/w.pr.Parts()+16)
 	for _, t := range tabs {
-		dst.MergePartition(t, w.part, aggPartBits, descs)
+		dst.MergePartition(t, w.part, w.pr, descs)
 	}
 	for g := 0; g < dst.Len(); g++ {
 		o.emitFastGroup(em, out, dst, g, row)

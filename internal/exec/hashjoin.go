@@ -37,10 +37,11 @@ type BuildHashOp struct {
 	buildBloom bool
 	keyOnly    bool
 
-	ht       *hashtable.Table
-	filter   *bloom.Filter
-	scratch  sync.Pool // *hashtable.InsertScratch
-	readCols []int
+	ht        *hashtable.Table
+	filter    *bloom.Filter
+	scratch   sync.Pool // *hashtable.InsertScratch
+	readCols  []int
+	partLocal bool
 
 	// demoted flips (permanently, for the run) when a fault fires on the
 	// batch insert path: subsequent work orders — including the retry of the
@@ -64,6 +65,12 @@ type BuildSpec struct {
 	ExpectedRows int
 	// BuildBloom also builds a LIP bloom filter on KeyCols[0].
 	BuildBloom bool
+	// PartitionLocal marks a per-partition build clone downstream of an
+	// exchange: the clone owns its hash table outright, so inserts run the
+	// unlocked kernel (zero shard-lock acquisitions). The plan builder must
+	// cap such clones at MaxDOP 1 — the exchange guarantees key disjointness
+	// across clones, MaxDOP 1 guarantees exclusive table access within one.
+	PartitionLocal bool
 }
 
 // NewBuildHash builds a hash-table build operator.
@@ -79,6 +86,7 @@ func NewBuildHash(spec BuildSpec) *BuildHashOp {
 		expected:   spec.ExpectedRows,
 		buildBloom: spec.BuildBloom,
 		keyOnly:    len(spec.Payload) == 0,
+		partLocal:  spec.PartitionLocal,
 	}
 	op.readCols = append(append([]int{}, spec.KeyCols...), spec.Payload...)
 	return op
@@ -97,7 +105,10 @@ func (o *BuildHashOp) NumInputs() int { return 1 }
 // only the live join's table in memory — the accounting Table II of the
 // paper depends on.
 func (o *BuildHashOp) Start(ctx *core.ExecCtx) []core.WorkOrder {
-	cfg := hashtable.Config{PayloadSchema: o.paySchema, InitialCapacity: o.expected}
+	cfg := hashtable.Config{
+		PayloadSchema: o.paySchema, InitialCapacity: o.expected,
+		Owned: o.partLocal,
+	}
 	if ctx.Run != nil {
 		cfg.Gauge = &ctx.Run.HashTables
 	}
@@ -186,9 +197,14 @@ func (w *buildWO) runBatch(ctx *core.ExecCtx, out *core.Output) error {
 		sc = &hashtable.InsertScratch{}
 	}
 	var locks int
-	if o.keyOnly {
+	switch {
+	case o.partLocal && o.keyOnly:
+		locks = o.ht.InsertBlockOwnedKeyOnly(b, o.keyCols, sc)
+	case o.partLocal:
+		locks = o.ht.InsertBlockOwned(b, o.keyCols, o.payloadIdx, sc)
+	case o.keyOnly:
 		locks = o.ht.InsertBlockKeyOnly(b, o.keyCols, sc)
-	} else {
+	default:
 		locks = o.ht.InsertBlock(b, o.keyCols, o.payloadIdx, sc)
 	}
 	out.ShardLocks += int64(locks)

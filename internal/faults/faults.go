@@ -46,13 +46,17 @@ const (
 	// order, before the run is stored (pre-mutation; demotes the sort to the
 	// reference path like AggUpsert does for aggregation).
 	SortRun
+	// Repartition fires at the start of an exchange scatter work order,
+	// before any partition stream is touched (pre-mutation; demotes the
+	// vectorized scatter to the row-at-a-time reference path).
+	Repartition
 
-	numSites = 5
+	numSites = 6
 )
 
 // Sites lists every defined site.
 func Sites() []Site {
-	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize, SortRun}
+	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize, SortRun, Repartition}
 }
 
 // String returns the site's name.
@@ -68,6 +72,8 @@ func (s Site) String() string {
 		return "block_materialize"
 	case SortRun:
 		return "sort_run"
+	case Repartition:
+		return "repartition"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

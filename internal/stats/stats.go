@@ -74,6 +74,11 @@ type WorkOrder struct {
 	SortFallbackRows int64 // rows sorted through the reference Datum path
 	TopKPruned       int64 // rows pruned by the bounded top-k heap
 
+	// Exchange-kernel counters (see core.Output).
+	ExchangeRows      int64 // rows scattered into partition-local streams
+	RepartitionFanout int64 // distinct partition streams scattered into
+	PartitionSkew     int64 // skew-guard trips (>50% of rows in one partition)
+
 	// Robustness fields: which execution attempt this record is (1 = first)
 	// and whether the attempt failed. Failed attempts are rolled back by the
 	// scheduler, so their row and kernel counters are excluded from operator
@@ -113,6 +118,10 @@ type OpTotals struct {
 	SortFastRows     int64
 	SortFallbackRows int64
 	TopKPruned       int64
+
+	ExchangeRows      int64
+	RepartitionFanout int64
+	PartitionSkew     int64
 
 	// FailedAttempts counts rolled-back work-order attempts of the operator
 	// (they are included in Count and WallTotal — the time was spent — but
@@ -331,6 +340,9 @@ func (r *Run) PerOp() []OpTotals {
 		t.SortFastRows += w.SortFastRows
 		t.SortFallbackRows += w.SortFallbackRows
 		t.TopKPruned += w.TopKPruned
+		t.ExchangeRows += w.ExchangeRows
+		t.RepartitionFanout += w.RepartitionFanout
+		t.PartitionSkew += w.PartitionSkew
 	}
 	out := make([]OpTotals, 0, len(m))
 	for _, t := range m {
@@ -395,6 +407,18 @@ func (r *Run) SortKernels() (runs, mergeFanout, fastRows, fallbackRows, topkPrun
 		fastRows += t.SortFastRows
 		fallbackRows += t.SortFallbackRows
 		topkPruned += t.TopKPruned
+	}
+	return
+}
+
+// ExchangeKernels sums the exchange-kernel counters across all work orders:
+// rows scattered into partition-local streams, the realized repartition
+// fan-out, and skew-guard trips.
+func (r *Run) ExchangeKernels() (rows, fanout, skew int64) {
+	for _, t := range r.PerOp() {
+		rows += t.ExchangeRows
+		fanout += t.RepartitionFanout
+		skew += t.PartitionSkew
 	}
 	return
 }

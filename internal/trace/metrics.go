@@ -49,6 +49,11 @@ type OpMetrics struct {
 	SortFastRows     int64 `json:"sort_fast_rows,omitempty"`     // rows via normalized keys
 	SortFallbackRows int64 `json:"sort_fallback_rows,omitempty"` // rows via the reference path
 	TopKPruned       int64 `json:"topk_pruned,omitempty"`        // rows pruned by the top-k heap
+
+	// Exchange-kernel counters (zero for non-exchange operators).
+	ExchangeRows      int64 `json:"exchange_rows,omitempty"`      // rows scattered to partitions
+	RepartitionFanout int64 `json:"repartition_fanout,omitempty"` // partition streams scattered into
+	PartitionSkew     int64 `json:"partition_skew,omitempty"`     // skew-guard trips
 }
 
 // EdgeMetrics aggregates one pipelined edge's gauge samples.
@@ -88,7 +93,9 @@ func (t *Tracer) Snapshot() Metrics {
 				Demotions: a.demotions,
 				SortRuns:  a.sortRuns, SortMergeFanout: a.sortMergeFanout,
 				SortFastRows: a.sortFastRows, SortFallbackRows: a.sortFallbackRows,
-				TopKPruned: a.topkPruned,
+				TopKPruned:   a.topkPruned,
+				ExchangeRows: a.exchangeRows, RepartitionFanout: a.repartitionFanout,
+				PartitionSkew: a.partitionSkew,
 			})
 		}
 		for id, info := range r.edges {
@@ -184,6 +191,22 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 			for _, o := range run.Ops {
 				if o.TopKPruned > 0 {
 					add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.TopKPruned)
+				}
+			}
+		})
+	emit("uot_exchange_rows_total", "Rows scattered into partition-local streams per exchange operator.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				if o.ExchangeRows > 0 {
+					add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.ExchangeRows)
+				}
+			}
+		})
+	emit("uot_partition_skew_total", "Exchange skew-guard trips (more than half of all rows in one partition).", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			for _, o := range run.Ops {
+				if o.PartitionSkew > 0 {
+					add(fmt.Sprintf("op=%q", promEscape(o.Name)), o.PartitionSkew)
 				}
 			}
 		})

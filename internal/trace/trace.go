@@ -59,6 +59,10 @@ const (
 	MarkUoTRaise
 	// MarkRunEnd: the run finished (FlagFailed set if it errored).
 	MarkRunEnd
+	// MarkPartitionSkew: an exchange's skew guard tripped — one partition
+	// received more than half of all scattered rows (Rows carries the
+	// dominant partition's row count, RowsOut the total).
+	MarkPartitionSkew
 )
 
 // Span flag bits.
@@ -102,6 +106,11 @@ type Event struct {
 	SortFallbackRows int64 // rows sorted through the reference Datum path
 	TopKPruned       int64 // rows pruned by the bounded top-k heap
 
+	// Exchange-kernel counters (KindSpan; see core.Output).
+	ExchangeRows      int64 // rows scattered into partition-local streams
+	RepartitionFanout int64 // distinct partition streams scattered into
+	PartitionSkew     int64 // skew-guard trips
+
 	// Edge-sample gauges (KindEdge).
 	Buffered   int32 // blocks buffered on the edge after the transition
 	UoT        int64 // the edge's current UoT threshold in blocks
@@ -131,6 +140,9 @@ type opAgg struct {
 	sortRuns, sortMergeFanout      int64
 	sortFastRows, sortFallbackRows int64
 	topkPruned                     int64
+
+	exchangeRows, repartitionFanout int64
+	partitionSkew                   int64
 }
 
 // edgeAgg accumulates per-edge metrics outside the ring.
@@ -317,6 +329,9 @@ func (t *Tracer) Span(e Event) {
 			a.sortFastRows += e.SortFastRows
 			a.sortFallbackRows += e.SortFallbackRows
 			a.topkPruned += e.TopKPruned
+			a.exchangeRows += e.ExchangeRows
+			a.repartitionFanout += e.RepartitionFanout
+			a.partitionSkew += e.PartitionSkew
 		}
 	}
 	t.recordLocked(e)

@@ -65,6 +65,46 @@ func HashPairVec(k0, k1 []int64, dst []uint64) []uint64 {
 // partition.
 func Radix(h uint64, bits uint) uint64 { return h >> (64 - bits) }
 
+// PartitionBits returns the number of top hash bits needed to address parts
+// radix partitions: the smallest b with 1<<b >= parts (0 for parts <= 1).
+func PartitionBits(parts int) uint {
+	bits := uint(0)
+	for 1<<bits < parts {
+		bits++
+	}
+	return bits
+}
+
+// Partitioner maps hash values onto a fixed set of radix partitions, so
+// callers configure a partition *count* instead of hand-computing top-bit
+// shifts at every site. The count is rounded up to a power of two (radix
+// partitioning is top-bits based); Parts reports the effective count.
+//
+// The zero value and NewPartitioner(1) are the single-partition identity:
+// every hash maps to partition 0 — which also makes it the "match all
+// partitions" filter for merge kernels that test Of(h) == part.
+type Partitioner struct {
+	bits uint
+	mask uint64
+}
+
+// NewPartitioner returns a partitioner over parts radix partitions, rounded
+// up to a power of two (minimum 1).
+func NewPartitioner(parts int) Partitioner {
+	bits := PartitionBits(parts)
+	return Partitioner{bits: bits, mask: 1<<bits - 1}
+}
+
+// Of returns the partition of hash value h: its top Bits() bits. Consistent
+// with Radix(h, p.Bits()).
+func (p Partitioner) Of(h uint64) int { return int((h >> (64 - p.bits)) & p.mask) }
+
+// Parts returns the effective (power-of-two) partition count.
+func (p Partitioner) Parts() int { return 1 << p.bits }
+
+// Bits returns the number of top hash bits the partitioner consumes.
+func (p Partitioner) Bits() uint { return p.bits }
+
 // HashBytes hashes a byte string (FNV-1a folded through Mix64).
 func HashBytes(b []byte) uint64 {
 	const (

@@ -160,7 +160,7 @@ type (
 	// fault kinds, and the maximum injected latency.
 	FaultConfig = faults.Config
 	// FaultSite names an injection point (hash insert, bloom build, agg
-	// upsert, block materialize).
+	// upsert, block materialize, sort run, repartition).
 	FaultSite = faults.Site
 	// FaultEvent is one fired fault in a replayable schedule.
 	FaultEvent = faults.Event
