@@ -2,16 +2,23 @@
 //
 // Usage:
 //
-//	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [IDs...]
+//	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [-adaptive] [IDs...]
 //	uotbench -micro [-json BENCH_PR1.json]
 //
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
 // SEC6C, FIG5, FIG6, FIG7, FIG8, FIG9, FIG10, TAB6, FIG11, plus CONTEND for
 // the batch-kernel contention profile, AGG for the aggregation-kernel
-// profile, SORT for the parallel-sort/top-k kernel profile, and CHAOS for
-// the fault-injection robustness check — TPC-H under a seeded fault
-// schedule must match the fault-free results exactly).
+// profile, SORT for the parallel-sort/top-k kernel profile, CHAOS for the
+// fault-injection robustness check — TPC-H under a seeded fault schedule
+// must match the fault-free results exactly — and ADAPT for the adaptive
+// per-edge UoT controller vs. the static settings).
+//
+// -adaptive turns the per-edge adaptive UoT controller on for the wall-clock
+// experiments that execute real queries (FIG7, FIG8, FIG10, TAB6): their
+// per-query runs then start at the analytical model's predicted UoT and
+// adjust at delivery boundaries instead of using the experiment's static
+// setting.
 //
 // -micro runs the hot-path micro-benchmark suite instead (row-at-a-time
 // reference paths vs. the block-granular batch, aggregation, and
@@ -47,6 +54,7 @@ func main() {
 	runs := flag.Int("runs", 5, "wall-clock repetitions per configuration")
 	best := flag.Int("best", 3, "average the best K runs")
 	l3 := flag.Int64("l3", 8<<20, "simulated L3 bytes for the cache model")
+	adaptive := flag.Bool("adaptive", false, "run wall-clock query experiments with the adaptive per-edge UoT controller")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
 	jsonPath := flag.String("json", "", "with -micro: write the machine-readable results to this file")
@@ -82,7 +90,7 @@ func main() {
 
 	h := bench.New(bench.Config{
 		SF: *sf, Workers: *workers, Runs: *runs, Best: *best, SimL3Bytes: *l3,
-		Trace: tr,
+		Trace: tr, Adaptive: *adaptive,
 	})
 
 	exps := bench.Experiments()

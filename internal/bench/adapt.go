@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/uotctl"
+)
+
+// adaptStatics is the static UoT spectrum the adaptive controller is judged
+// against: the two paper endpoints plus intermediate operating points.
+var adaptStatics = []int{1, 4, 16, 64, core.UoTTable}
+
+func adaptStaticLabel(uot int) string {
+	if uot == core.UoTTable {
+		return "table"
+	}
+	return fmt.Sprintf("%d", uot)
+}
+
+// AdaptiveProfile (ADAPT) sweeps the Fig. 7 query suite at 128 KB
+// column-store blocks over the static UoT spectrum and the adaptive per-edge
+// controller, wall clock best-of-runs. Three things are checked per query:
+// the adaptive result matches the UoT=1 reference (float aggregates within
+// 1e-6 — mid-run UoT changes regroup work orders, so summation order may
+// differ), the adaptive time lands near the best static setting, and the
+// per-edge decision counters surface what the controller actually did.
+func (h *Harness) AdaptiveProfile() (*Report, error) {
+	r := &Report{
+		ID:    "ADAPT",
+		Title: "Adaptive per-edge UoT vs static settings, column store 128KB (wall ms)",
+	}
+	r.Header = append(r.Header, "query")
+	for _, uot := range adaptStatics {
+		r.Header = append(r.Header, "uot="+adaptStaticLabel(uot))
+	}
+	r.Header = append(r.Header, "adaptive", "vs_best", "vs_worst", "raise/lower/snap", "result")
+
+	const blockBytes = 128 << 10
+	d := h.Dataset(blockBytes, storage.ColumnStore)
+	within5, faster20 := 0, 0
+	for _, num := range tpch.Numbers() {
+		// Reference result at UoT=1 for the correctness check.
+		refRes, err := h.run(d, num, engine.Options{
+			Workers: h.cfg.Workers, UoTBlocks: 1, TempBlockBytes: blockBytes,
+		}, tpch.QueryOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("ADAPT: reference Q%d: %w", num, err)
+		}
+		ref := engine.Rows(refRes.Table)
+		engine.SortRows(ref)
+
+		row := []string{fmt.Sprintf("Q%02d", num)}
+		var bestStatic, worstStatic time.Duration
+		for _, uot := range adaptStatics {
+			dur, _, err := h.bestOf(func() (*stats.Run, error) {
+				res, err := h.run(d, num, engine.Options{
+					Workers: h.cfg.Workers, UoTBlocks: uot, TempBlockBytes: blockBytes,
+				}, tpch.QueryOpts{})
+				if err != nil {
+					return nil, err
+				}
+				return res.Run, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ADAPT: Q%d uot=%s: %w", num, adaptStaticLabel(uot), err)
+			}
+			if bestStatic == 0 || dur < bestStatic {
+				bestStatic = dur
+			}
+			if dur > worstStatic {
+				worstStatic = dur
+			}
+			row = append(row, ms(dur))
+		}
+
+		resultOK := true
+		adaptDur, adaptRun, err := h.bestOf(func() (*stats.Run, error) {
+			res, err := h.run(d, num, engine.Options{
+				Workers: h.cfg.Workers, UoTBlocks: 1, TempBlockBytes: blockBytes,
+				AdaptiveUoT: true,
+			}, tpch.QueryOpts{})
+			if err != nil {
+				return nil, err
+			}
+			rows := engine.Rows(res.Table)
+			engine.SortRows(rows)
+			if !chaosSameRows(ref, rows) {
+				resultOK = false
+			}
+			return res.Run, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ADAPT: Q%d adaptive: %w", num, err)
+		}
+		if !resultOK {
+			return nil, fmt.Errorf("ADAPT: Q%d adaptive result deviates from the UoT=1 reference", num)
+		}
+
+		var raises, lowers, snaps int64
+		for _, e := range adaptRun.EdgeUoTs() {
+			raises += e.Raises
+			lowers += e.Lowers
+			snaps += e.Snaps
+		}
+		vsBest := 100 * (adaptDur.Seconds() - bestStatic.Seconds()) / bestStatic.Seconds()
+		vsWorst := 100 * (adaptDur.Seconds() - worstStatic.Seconds()) / worstStatic.Seconds()
+		if vsBest <= 5 {
+			within5++
+		}
+		if vsWorst <= -20 {
+			faster20++
+		}
+		row = append(row, ms(adaptDur),
+			fmt.Sprintf("%+.1f%%", vsBest),
+			fmt.Sprintf("%+.1f%%", vsWorst),
+			fmt.Sprintf("%d/%d/%d", raises, lowers, snaps),
+			pass(resultOK))
+		r.AddRow(row...)
+	}
+	r.Note("vs_best: adaptive time relative to the best static setting per query (<= +5%% target)")
+	r.Note("vs_worst: relative to the worst static setting (negative = adaptive faster)")
+	r.Note("%d/%d queries within 5%% of best static; %d at least 20%% faster than worst static",
+		within5, len(tpch.Numbers()), faster20)
+	return r, nil
+}
+
+// Micro benchmarks for the adaptive decision path: the controller's raw
+// per-observation cost, the model-prior computation, and the end-to-end
+// overhead of running a query with the controller attached vs. a static run
+// in the same binary (the <1%-when-enabled acceptance target; the
+// disabled-path cost shows up as the static number tracking earlier BENCH
+// artifacts).
+
+var (
+	adaptMicroOnce sync.Once
+	adaptMicroTPCH *tpch.Dataset
+)
+
+// adaptMicroDataset loads (once) a tiny TPC-H dataset for the end-to-end
+// overhead benchmarks; SF 0.01 keeps one op in the low milliseconds so
+// testing.Benchmark's auto-scaling stays cheap.
+func adaptMicroDataset() *tpch.Dataset {
+	adaptMicroOnce.Do(func() {
+		adaptMicroTPCH = tpch.Load(0.01, 128<<10, storage.ColumnStore)
+	})
+	return adaptMicroTPCH
+}
+
+// benchAdaptQuery runs TPC-H Q1 end to end per op, static or adaptive. The
+// adaptive variant pins the controller to the static schedule (prior off,
+// Floor = Ceiling = the static UoT) so every decision is a Hold and the two
+// runs execute identical work orders: the ratio isolates the controller
+// mechanism — clock reads, service-time attribution, signal assembly, the
+// observe call — from schedule differences, which are ADAPT's subject.
+func benchAdaptQuery(workers int, adaptive bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		d := adaptMicroDataset()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bld, err := tpch.Build(d, 1, tpch.QueryOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := engine.Options{
+				Workers: workers, UoTBlocks: 1, TempBlockBytes: 128 << 10,
+			}
+			if adaptive {
+				opts.AdaptiveUoT = true
+				opts.AdaptiveConfig = uotctl.Config{
+					DisablePrior: true, DefaultUoT: 1, Floor: 1, Ceiling: 1,
+				}
+			}
+			if _, err := engine.Execute(bld, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// adaptQ1Overhead measures the controller's end-to-end mechanism cost as a
+// ratio: TPC-H Q1 with a pinned controller (every decision a Hold, identical
+// schedule to static — see benchAdaptQuery) over Q1 without one. Separate
+// testing.Benchmark batches drift by ±10% on this host over the minutes a
+// suite run takes, which swamps a sub-1% effect; alternating single
+// executions back to back exposes both sides to the same drift, and the
+// best-of-K on each side discards the GC/scheduling outliers.
+func adaptQ1Overhead() float64 {
+	d := adaptMicroDataset()
+	run := func(adaptive bool) time.Duration {
+		bld, err := tpch.Build(d, 1, tpch.QueryOpts{})
+		if err != nil {
+			panic(err)
+		}
+		opts := engine.Options{Workers: 8, UoTBlocks: 1, TempBlockBytes: 128 << 10}
+		if adaptive {
+			opts.AdaptiveUoT = true
+			opts.AdaptiveConfig = uotctl.Config{
+				DisablePrior: true, DefaultUoT: 1, Floor: 1, Ceiling: 1,
+			}
+		}
+		start := time.Now()
+		if _, err := engine.Execute(bld, opts); err != nil {
+			panic(err)
+		}
+		return time.Since(start)
+	}
+	run(false)
+	run(true)
+	best := [2]time.Duration{1 << 62, 1 << 62}
+	for i := 0; i < 15; i++ {
+		for j, adaptive := range [2]bool{false, true} {
+			if got := run(adaptive); got < best[j] {
+				best[j] = got
+			}
+		}
+	}
+	return float64(best[1]) / float64(best[0])
+}
+
+// benchUoTObserve measures one controller decision: the gauge pattern cycles
+// backlog pressure, starvation, and quiet intervals so hysteresis streaks
+// keep advancing instead of the controller settling into pure holds.
+func benchUoTObserve(b *testing.B) {
+	c := uotctl.New(uotctl.Config{Workers: 8, BlockBytes: 128 << 10, DefaultUoT: 4})
+	e := c.AddEdge(4)
+	sigs := []uotctl.Signals{
+		{Buffered: 64, Delivered: 4, IntervalNS: 1000, ServiceNS: 400},
+		{Buffered: 0, Delivered: 4, StallNS: 900, IntervalNS: 1000, ServiceNS: 100},
+		{Buffered: 2, Delivered: 4, IntervalNS: 1000, ServiceNS: 500},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(e, sigs[i%len(sigs)])
+	}
+}
+
+// benchUoTPrior measures the Section V model-prior computation that seeds
+// cold edges (runs once per undeclared edge per execution).
+func benchUoTPrior(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		uotctl.Prior(128<<10, 20)
+	}
+}

@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"SORT", "sort-kernel profile (normalized-key runs, merge fan-out, top-k pruning)", (*Harness).SortKernelProfile},
 		{"EXCH", "exchange profile (partition-local pipelines vs shared-state join+agg)", (*Harness).ExchangeProfile},
 		{"CHAOS", "robustness: seeded fault injection vs fault-free results", (*Harness).Chaos},
+		{"ADAPT", "adaptive per-edge UoT controller vs static settings", (*Harness).AdaptiveProfile},
 	}
 }
 

@@ -49,6 +49,11 @@ type Config struct {
 	// traced execution becomes one labeled section of the tracer, and
 	// cmd/uotbench -trace writes the result as a Chrome trace-event file.
 	Trace *trace.Tracer
+	// Adaptive runs the wall-clock query experiments (FIG7, FIG8, FIG10,
+	// TAB6) with the adaptive per-edge UoT controller instead of each
+	// experiment's static setting. The dedicated ADAPT experiment compares
+	// adaptive against the static spectrum regardless of this flag.
+	Adaptive bool
 }
 
 func (c Config) withDefaults() Config {

@@ -321,6 +321,10 @@ func microBenchmarks() []struct {
 		{"sort/fast/g=8", sortRows, benchSort(8, true, 0, microSortBlocks)},
 		{"topk/reference/limit=100/g=8", sortRows, benchSort(8, false, 100, microSortBlocks)},
 		{"topk/fast/limit=100/g=8", sortRows, benchSort(8, true, 100, microSortBlocks)},
+		{"uotctl/observe", 0, benchUoTObserve},
+		{"uotctl/prior", 0, benchUoTPrior},
+		{"engine/q1/static/g=8", 0, benchAdaptQuery(8, false)},
+		{"engine/q1/adaptive/g=8", 0, benchAdaptQuery(8, true)},
 	}
 }
 
@@ -340,6 +344,17 @@ func RunMicro() *MicroReport {
 	ns := map[string]float64{}
 	for _, mb := range microBenchmarks() {
 		r := testing.Benchmark(mb.fn)
+		// End-to-end engine entries (whole-query wall clock, ~tens of ms
+		// per op) carry run-level scheduling noise that b.N auto-scaling
+		// cannot average out; take the best of three runs, the same policy
+		// the macro harness applies to experiment cells.
+		if strings.HasPrefix(mb.name, "engine/") {
+			for i := 0; i < 2; i++ {
+				if r2 := testing.Benchmark(mb.fn); r2.NsPerOp() < r.NsPerOp() {
+					r = r2
+				}
+			}
+		}
 		perOp := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := MicroResult{
 			Name:        mb.name,
@@ -370,6 +385,11 @@ func RunMicro() *MicroReport {
 	speedup("sort_fast_speedup_g1", "sort/reference/g=1", "sort/fast/g=1")
 	speedup("sort_fast_speedup_g8", "sort/reference/g=8", "sort/fast/g=8")
 	speedup("topk_fast_speedup_g8", "topk/reference/limit=100/g=8", "topk/fast/limit=100/g=8")
+	// Overhead ratio of the adaptive decision path: pinned-controller Q1
+	// over static Q1, identical schedules (1.01 = 1% overhead). Measured by
+	// interleaved alternation rather than from the two engine/q1 entries
+	// above — see adaptQ1Overhead for why.
+	rep.Derived["adaptive_uot_overhead_q1"] = adaptQ1Overhead()
 	return rep
 }
 

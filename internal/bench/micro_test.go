@@ -36,6 +36,13 @@ func BenchmarkMicroSortRefG8(b *testing.B)  { benchSort(8, false, 0, 128)(b) }
 func BenchmarkMicroSortFastG8(b *testing.B) { benchSort(8, true, 0, 128)(b) }
 func BenchmarkMicroSortTopKG8(b *testing.B) { benchSort(8, true, 100, 128)(b) }
 
+// Adaptive-UoT suite: the controller's per-decision and prior costs plus the
+// end-to-end static-vs-adaptive overhead pair (BENCH_PR7's target ratio).
+func BenchmarkMicroUoTObserve(b *testing.B)         { benchUoTObserve(b) }
+func BenchmarkMicroUoTPrior(b *testing.B)           { benchUoTPrior(b) }
+func BenchmarkMicroUoTQueryStaticG8(b *testing.B)   { benchAdaptQuery(8, false)(b) }
+func BenchmarkMicroUoTQueryAdaptiveG8(b *testing.B) { benchAdaptQuery(8, true)(b) }
+
 // TestMicroReportSmoke runs one tiny pass of the report plumbing (not the
 // full auto-scaled suite) to keep the JSON artifact path covered.
 func TestMicroReportSmoke(t *testing.T) {

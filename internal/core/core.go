@@ -25,6 +25,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/uotctl"
 )
 
 // UoTTable is the UoT value meaning "the entire intermediate table": the
@@ -66,6 +67,15 @@ type ExecCtx struct {
 	// is fully disabled: every recording call is a nil-check no-op and the
 	// scheduler takes no timestamps beyond what it already takes.
 	Trace *trace.Tracer
+
+	// Adapt, if non-nil, is the per-edge adaptive UoT controller: the
+	// scheduler registers every pipelined edge, seeds undeclared edges with
+	// the controller's model prior, observes each edge at delivery
+	// boundaries, and routes the memory-pressure degradation through
+	// Controller.Pressure so the PR3 raise is one policy input rather than
+	// a separate code path. Nil keeps the static UoT behavior bit-exact
+	// (and timestamp-free when tracing is also off).
+	Adapt *uotctl.Controller
 
 	// Ctx, if non-nil, cancels the whole run: the scheduler stops
 	// dispatching, drops queued work orders, and emitters abort in-flight

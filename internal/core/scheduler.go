@@ -13,6 +13,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/uotctl"
 )
 
 // Run executes a plan: a single scheduler goroutine dispatches work orders
@@ -52,9 +53,12 @@ type job struct {
 	notBefore time.Time
 	// Tracing annotations (zero when tracing is disabled): when the job
 	// entered the queue and which UoT delivery batch fed it (-1 for work
-	// orders not born from an edge delivery).
+	// orders not born from an edge delivery). edge is the pipelined edge
+	// whose delivery created the job (-1 otherwise); the adaptive controller
+	// uses it to attribute consumer service time back to the feeding edge.
 	enqueueNS int64
 	batch     int64
+	edge      int32
 }
 
 type wres struct {
@@ -66,23 +70,39 @@ type wres struct {
 	worker  int
 	attempt int // 1-based: attempts completed including this one
 	err     error
-	// enqueueNS/batch are carried through from the job for span events.
+	// enqueueNS/batch/edge are carried through from the job for span events
+	// and service-time attribution.
 	enqueueNS int64
 	batch     int64
+	edge      int32
 }
 
 type edgeState struct {
 	e            Edge
 	uot          int
+	start        int // resolved starting UoT (see ResolveUoT)
 	buf          []*storage.Block
 	producerDone bool
 	delivered    bool // inputsOpen decremented at consumer
-	// Tracing state: the edge's id in the tracer, the per-edge UoT delivery
-	// counter (batch ids), and when buf last went non-empty (for stall-time
-	// gauges; 0 while empty).
+	// id is the edge's index in sched.edges (doubles as its tracer id);
+	// batches counts UoT deliveries (batch ids); bufSince is when buf last
+	// went non-empty (stall-time tracking; 0 while empty), maintained when
+	// tracing or adaptation needs it.
 	id       int32
 	batches  int64
 	bufSince int64
+	// Adaptive-controller state: ctl is the edge's controller index (-1 for
+	// static edges), lastDelivery the clock at the previous delivery
+	// boundary, serviceNS the consumer work-order time attributed to this
+	// edge since the last observation, and the counters record every
+	// decision for the stats snapshot.
+	ctl          int
+	lastDelivery int64
+	serviceNS    int64
+	raises       int64
+	lowers       int64
+	holds        int64
+	snaps        int64
 }
 
 type opState struct {
@@ -116,6 +136,12 @@ type sched struct {
 	inflight int
 	runErr   error
 
+	// clock returns monotonic nanoseconds for edge stall/interval tracking:
+	// the tracer's clock when tracing, a run-local clock when only the
+	// adaptive controller needs it, nil when neither does (the static
+	// untraced path stays timestamp-free).
+	clock func() int64
+
 	dispatch chan job
 	results  chan wres
 }
@@ -136,20 +162,24 @@ func (s *sched) build(defaultUoT int) {
 	for _, e := range s.plan.Edges {
 		switch e.Kind {
 		case Pipelined:
-			uot := e.UoT
-			if uot == 0 {
-				uot = defaultUoT
+			es := &edgeState{e: e, uot: ResolveUoT(e, defaultUoT, s.ctx.Adapt), ctl: -1}
+			if s.ctx.Adapt != nil && es.uot != UoTTable {
+				es.ctl = s.ctx.Adapt.AddEdge(es.uot)
+				es.uot = s.ctx.Adapt.UoT(es.ctl) // controller clamps to its floor
 			}
-			es := &edgeState{e: e, uot: uot}
+			es.start = es.uot
 			s.edges = append(s.edges, es)
 			s.states[e.From].out = append(s.states[e.From].out, es)
 			s.states[e.To].inputsOpen++
 		case Blocking:
-			es := &edgeState{e: e}
+			es := &edgeState{e: e, ctl: -1}
 			s.edges = append(s.edges, es)
 			s.states[e.From].out = append(s.states[e.From].out, es)
 			s.states[e.To].deps++
 		}
+	}
+	for i, es := range s.edges {
+		es.id = int32(i)
 	}
 	for slot, op := range s.plan.ScalarSlots {
 		s.states[op].scalarSlots = append(s.states[op].scalarSlots, slot)
@@ -160,7 +190,6 @@ func (s *sched) build(defaultUoT int) {
 			tr.RegisterOp(i, st.op.Name())
 		}
 		for i, es := range s.edges {
-			es.id = int32(i)
 			tr.RegisterEdge(i, trace.EdgeInfo{
 				From: int(es.e.From), To: int(es.e.To),
 				FromName:  s.states[es.e.From].op.Name(),
@@ -193,7 +222,33 @@ func (s *sched) build(defaultUoT int) {
 	}
 }
 
+// ResolveUoT is the single place the Edge.UoT==0 fallback is resolved: an
+// explicit per-edge value wins; otherwise an attached adaptive controller
+// supplies its analytical-model prior, and absent both the run default
+// applies. Blocking edges resolve to 0 (they transfer no pipelined blocks).
+func ResolveUoT(e Edge, defaultUoT int, ad *uotctl.Controller) int {
+	if e.Kind != Pipelined {
+		return 0
+	}
+	if e.UoT != 0 {
+		return e.UoT
+	}
+	if ad != nil {
+		return ad.Prior()
+	}
+	if defaultUoT <= 0 {
+		return 1
+	}
+	return defaultUoT
+}
+
 func (s *sched) run() error {
+	if tr := s.ctx.Trace; tr.Enabled() {
+		s.clock = tr.Now
+	} else if s.ctx.Adapt != nil {
+		base := now()
+		s.clock = func() int64 { return now().Sub(base).Nanoseconds() }
+	}
 	if n := len(s.plan.ScalarSlots); len(s.ctx.Scalars) < n {
 		s.ctx.Scalars = make([]types.Datum, n)
 	}
@@ -265,8 +320,38 @@ func (s *sched) run() error {
 	}
 	s.cleanup()
 	s.checkInvariants()
+	s.recordEdgeUoTs()
 	s.ctx.Trace.EndRun(s.runErr != nil)
 	return s.runErr
+}
+
+// recordEdgeUoTs publishes each pipelined edge's UoT trajectory — the
+// resolved starting value, the final value, and per-decision counts — into
+// the run's stats snapshot.
+func (s *sched) recordEdgeUoTs() {
+	if s.ctx.Run == nil {
+		return
+	}
+	var out []stats.EdgeUoT
+	for _, es := range s.edges {
+		if es.e.Kind != Pipelined {
+			continue
+		}
+		out = append(out, stats.EdgeUoT{
+			From: int(es.e.From), To: int(es.e.To),
+			FromName: s.states[es.e.From].op.Name(),
+			ToName:   s.states[es.e.To].op.Name(),
+			Input:    es.e.ToInput,
+			Declared: es.e.UoT,
+			Start:    es.start,
+			Final:    es.uot,
+			Raises:   es.raises,
+			Lowers:   es.lowers,
+			Holds:    es.holds,
+			Snaps:    es.snaps,
+		})
+	}
+	s.ctx.Run.SetEdgeUoTs(out)
 }
 
 // fail records the first fatal error and cancels all remaining queued work
@@ -382,35 +467,93 @@ func (s *sched) pickJob() int {
 			return -1
 		}
 		st.memHolds = 0
-		s.raiseUoT(st)
+		s.pressureRaise(st)
 	}
 	return best
 }
 
-// raiseUoT doubles the UoT of st's outgoing pipelined edges (snapping to
-// UoTTable past maxRaisedUoT): under sustained memory pressure the scheduler
-// trades transfer granularity for forward progress — the spectrum of Fig. 1
-// used as a degradation knob.
-func (s *sched) raiseUoT(st *opState) {
-	raised := false
+// pressureRaise raises the UoT of st's outgoing pipelined edges under
+// sustained memory pressure: the scheduler trades transfer granularity for
+// forward progress — the spectrum of Fig. 1 used as a degradation knob.
+// Adaptive edges route through the controller (which doubles immediately,
+// bypassing hysteresis, and arms a hold against re-lowering right after);
+// static edges double inline, snapping to UoTTable past maxRaisedUoT.
+func (s *sched) pressureRaise(st *opState) {
 	for _, es := range st.out {
 		if es.e.Kind != Pipelined || es.uot == UoTTable {
 			continue
 		}
-		if es.uot >= maxRaisedUoT {
-			es.uot = UoTTable
-		} else {
-			es.uot *= 2
+		var a uotctl.Action
+		switch {
+		case es.ctl >= 0:
+			a = s.ctx.Adapt.Pressure(es.ctl)
+		case es.uot >= maxRaisedUoT:
+			a = uotctl.Action{Dir: uotctl.Snap, UoT: UoTTable}
+		default:
+			a = uotctl.Action{Dir: uotctl.Raise, UoT: es.uot * 2}
 		}
-		raised = true
+		s.applyUoT(es, a, true)
 	}
-	if raised {
-		if s.ctx.Run != nil {
+}
+
+// adapt feeds one delivery boundary's gauges to the adaptive controller and
+// applies its decision to the edge. Called only for controller-managed edges
+// (es.ctl >= 0) that just delivered.
+func (s *sched) adapt(es *edgeState, delivered int, stallNS, nowNS int64) {
+	sig := uotctl.Signals{
+		Buffered:    len(es.buf),
+		Delivered:   delivered,
+		StallNS:     stallNS,
+		ServiceNS:   es.serviceNS,
+		QueueDepth:  len(s.queue),
+		MemPressure: s.overBudget(),
+	}
+	if es.lastDelivery > 0 {
+		sig.IntervalNS = nowNS - es.lastDelivery
+	}
+	es.lastDelivery = nowNS
+	es.serviceNS = 0
+	s.applyUoT(es, s.ctx.Adapt.Observe(es.ctl, sig), false)
+}
+
+// applyUoT applies one UoT decision — from the adaptive controller or the
+// legacy static degradation path — to an edge: the new value, the per-edge
+// decision counters behind the stats snapshot, the shared robustness
+// counters, and a trace mark distinguishing raises, lowers, and terminal
+// snaps (the mark's Edge/UoT fields name the edge and carry the new value).
+// pressure marks decisions born from the memory-pressure path: only those
+// count as UoTRaises, matching the counter's pre-adaptive meaning.
+func (s *sched) applyUoT(es *edgeState, a uotctl.Action, pressure bool) {
+	switch a.Dir {
+	case uotctl.Raise:
+		es.uot = a.UoT
+		es.raises++
+		if pressure && s.ctx.Run != nil {
 			s.ctx.Run.AddUoTRaise()
 		}
 		s.ctx.Trace.Mark(trace.MarkUoTRaise, trace.Event{
-			Op: int32(st.id), StartNS: s.ctx.Trace.Now(),
+			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
+			StartNS: s.ctx.Trace.Now(),
 		})
+	case uotctl.Lower:
+		es.uot = a.UoT
+		es.lowers++
+		s.ctx.Trace.Mark(trace.MarkUoTLower, trace.Event{
+			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
+			StartNS: s.ctx.Trace.Now(),
+		})
+	case uotctl.Snap:
+		es.uot = UoTTable
+		es.snaps++
+		if s.ctx.Run != nil {
+			s.ctx.Run.AddUoTSnap()
+		}
+		s.ctx.Trace.Mark(trace.MarkUoTSnap, trace.Event{
+			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
+			StartNS: s.ctx.Trace.Now(),
+		})
+	default:
+		es.holds++
 	}
 }
 
@@ -454,7 +597,7 @@ func (s *sched) worker(id int) {
 			err = runSafely(j.wo, s.ctx, out, start)
 		}
 		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id,
-			attempt: j.attempt + 1, err: err, enqueueNS: j.enqueueNS, batch: j.batch}
+			attempt: j.attempt + 1, err: err, enqueueNS: j.enqueueNS, batch: j.batch, edge: j.edge}
 	}
 }
 
@@ -516,6 +659,14 @@ func (s *sched) onComplete(r wres) {
 	st := s.states[r.op]
 	st.inflight--
 	s.inflight--
+
+	// Attribute the work order's wall time back to the edge whose delivery
+	// spawned it: the controller's consumer service-time signal.
+	if r.edge >= 0 {
+		if es := s.edges[r.edge]; es.ctl >= 0 {
+			es.serviceNS += r.end.Sub(r.start).Nanoseconds()
+		}
+	}
 
 	retry := false
 	if r.err != nil {
@@ -610,6 +761,7 @@ func (s *sched) onComplete(r wres) {
 			notBefore: now().Add(s.retryBackoff(r.attempt)),
 			enqueueNS: s.ctx.Trace.Now(),
 			batch:     r.batch,
+			edge:      r.edge,
 		})
 		st.queued++
 		return
@@ -706,16 +858,20 @@ func edgeWants(e Edge, tag int) bool {
 // tryFlush hands buffered blocks to the consumer in UoT-sized groups. When
 // tracing is enabled every transition ends with a gauge sample of the edge
 // (buffered blocks vs. the UoT threshold, scheduler queue depth, stall time
-// of the drained blocks, and memory-pool occupancy).
+// of the drained blocks, and memory-pool occupancy). Controller-managed
+// edges additionally observe the adaptive controller at every delivery
+// boundary — the same stall/interval bookkeeping feeds both, so the fully
+// static untraced path stays timestamp-free.
 func (s *sched) tryFlush(es *edgeState) {
 	traced := es.e.Kind == Pipelined && s.ctx.Trace.Enabled()
+	track := traced || es.ctl >= 0
 	delivered := 0
 	c := s.states[es.e.To]
 	if !c.started {
+		if track && len(es.buf) > 0 && es.bufSince == 0 {
+			es.bufSince = s.clock()
+		}
 		if traced {
-			if len(es.buf) > 0 && es.bufSince == 0 {
-				es.bufSince = s.ctx.Trace.Now()
-			}
 			s.sampleEdge(es, 0, 0)
 		}
 		return
@@ -739,9 +895,9 @@ func (s *sched) tryFlush(es *edgeState) {
 			s.check(c)
 		}
 	}
-	if traced {
+	if track {
 		var stall int64
-		nowNS := s.ctx.Trace.Now()
+		nowNS := s.clock()
 		if delivered > 0 && es.bufSince > 0 {
 			// How long the just-drained blocks waited buffered behind the
 			// UoT threshold before the consumer could see them.
@@ -752,7 +908,15 @@ func (s *sched) tryFlush(es *edgeState) {
 		} else if delivered > 0 || es.bufSince == 0 {
 			es.bufSince = nowNS
 		}
-		s.sampleEdge(es, delivered, stall)
+		if es.ctl >= 0 && delivered > 0 && !es.producerDone {
+			// Observe before the gauge sample so the sampled UoT threshold
+			// (and the Prometheus uot_edge_uot_blocks gauge behind it)
+			// reflects this boundary's decision.
+			s.adapt(es, delivered, stall, nowNS)
+		}
+		if traced {
+			s.sampleEdge(es, delivered, stall)
+		}
 	}
 }
 
@@ -782,16 +946,16 @@ func (s *sched) deliver(c *opState, es *edgeState, blocks []*storage.Block) {
 		}
 	}
 	es.batches++
-	s.enqueueBatch(c, c.op.Feed(s.ctx, es.e.ToInput, blocks), es.batches-1)
+	s.enqueueBatch(c, c.op.Feed(s.ctx, es.e.ToInput, blocks), es.batches-1, es.id)
 }
 
 func (s *sched) enqueue(st *opState, wos []WorkOrder) {
-	s.enqueueBatch(st, wos, -1)
+	s.enqueueBatch(st, wos, -1, -1)
 }
 
-// enqueueBatch queues work orders annotated with the UoT delivery batch that
-// produced them (-1 for Start/Final work orders).
-func (s *sched) enqueueBatch(st *opState, wos []WorkOrder, batch int64) {
+// enqueueBatch queues work orders annotated with the UoT delivery batch and
+// edge that produced them (-1/-1 for Start/Final work orders).
+func (s *sched) enqueueBatch(st *opState, wos []WorkOrder, batch int64, edge int32) {
 	if s.runErr != nil {
 		return
 	}
@@ -800,7 +964,7 @@ func (s *sched) enqueueBatch(st *opState, wos []WorkOrder, batch int64) {
 		enq = s.ctx.Trace.Now()
 	}
 	for _, wo := range wos {
-		s.queue = append(s.queue, job{op: st.id, wo: wo, enqueueNS: enq, batch: batch})
+		s.queue = append(s.queue, job{op: st.id, wo: wo, enqueueNS: enq, batch: batch, edge: edge})
 	}
 	st.queued += len(wos)
 }

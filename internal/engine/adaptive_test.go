@@ -1,0 +1,130 @@
+// Adaptive-UoT engine tests: attaching the per-edge controller is a
+// scheduling choice, not semantics — results must match a static run (with
+// the float tolerance of the golden harness, since mid-run UoT changes
+// regroup work orders and may reorder float summation), and the run snapshot
+// must surface the per-edge UoT trajectory.
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+func TestAdaptiveMatchesStaticTPCHResults(t *testing.T) {
+	d := tpch.Load(0.01, 128<<10, storage.ColumnStore)
+	for _, q := range tpch.Numbers() {
+		build := func() *engine.Builder {
+			b, err := tpch.Build(d, q, tpch.QueryOpts{})
+			if err != nil {
+				t.Fatalf("Q%02d: build: %v", q, err)
+			}
+			return b
+		}
+		res, err := engine.Execute(build(), engine.Options{
+			Workers: 1, UoTBlocks: 1, TempBlockBytes: 128 << 10,
+		})
+		if err != nil {
+			t.Fatalf("Q%02d: static execute: %v", q, err)
+		}
+		ref := engine.Rows(res.Table)
+
+		for _, workers := range []int{1, 4} {
+			ares, err := engine.Execute(build(), engine.Options{
+				Workers: workers, UoTBlocks: 1, TempBlockBytes: 128 << 10,
+				AdaptiveUoT: true,
+			})
+			if err != nil {
+				t.Fatalf("Q%02d: adaptive execute (workers=%d): %v", q, workers, err)
+			}
+			rows := engine.Rows(ares.Table)
+			if err := approxEqualRows(ref, rows); err != nil {
+				t.Errorf("Q%02d: adaptive (workers=%d) deviates from static: %v", q, workers, err)
+			}
+			edges := ares.Run.EdgeUoTs()
+			if len(edges) == 0 {
+				t.Errorf("Q%02d: adaptive run recorded no edge UoT snapshots", q)
+			}
+			for _, e := range edges {
+				if e.Start < 1 {
+					t.Errorf("Q%02d: edge %s->%s has unresolved start UoT %d", q, e.FromName, e.ToName, e.Start)
+				}
+				if e.Final < 1 {
+					t.Errorf("Q%02d: edge %s->%s has invalid final UoT %d", q, e.FromName, e.ToName, e.Final)
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptivePriorSeedsUndeclaredEdges(t *testing.T) {
+	// With the model prior enabled (the default), undeclared edges start at
+	// the Section V prediction — the same value on every edge of the plan —
+	// rather than at Options.UoTBlocks.
+	d := tpch.Load(0.01, 128<<10, storage.ColumnStore)
+	b, err := tpch.Build(d, 1, tpch.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Execute(b, engine.Options{
+		Workers: 4, UoTBlocks: 999, TempBlockBytes: 128 << 10,
+		AdaptiveUoT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := res.Run.EdgeUoTs()
+	if len(edges) == 0 {
+		t.Fatal("no edge snapshots")
+	}
+	for _, e := range edges {
+		if e.Declared != 0 {
+			continue
+		}
+		if e.Start == 999 {
+			t.Errorf("edge %s->%s started at UoTBlocks, want the model prior", e.FromName, e.ToName)
+		}
+		if e.Start < 1 || e.Start > 1024 {
+			t.Errorf("edge %s->%s prior start %d outside the model's block-count range", e.FromName, e.ToName, e.Start)
+		}
+	}
+}
+
+// TestAdaptiveStaticRunUnchanged pins the off-switch: without AdaptiveUoT the
+// snapshot reports the static trajectory (start == final == run default) and
+// the result is bit-identical to another static run.
+func TestAdaptiveStaticRunUnchanged(t *testing.T) {
+	d := tpch.Load(0.01, 128<<10, storage.ColumnStore)
+	run := func() ([][]types.Datum, *engine.Result) {
+		b, err := tpch.Build(d, 6, tpch.QueryOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Execute(b, engine.Options{
+			Workers: 1, UoTBlocks: 4, TempBlockBytes: 128 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return engine.Rows(res.Table), res
+	}
+	a, ares := run()
+	b, _ := run()
+	ea, eb := encodeRows(a), encodeRows(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("row counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("static runs differ at row %d", i)
+		}
+	}
+	for _, e := range ares.Run.EdgeUoTs() {
+		if e.Declared == 0 && (e.Start != 4 || e.Final != 4) {
+			t.Errorf("static edge %s->%s trajectory %d->%d, want 4->4", e.FromName, e.ToName, e.Start, e.Final)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/uotctl"
 )
 
 // Options configures one query execution.
@@ -67,6 +68,19 @@ type Options struct {
 	// point abort (transiently, so they retry); completed overruns are
 	// recorded in the run's robustness counters.
 	WorkOrderDeadline time.Duration
+	// AdaptiveUoT attaches a per-edge adaptive UoT controller (see
+	// internal/uotctl): pipelined edges without an explicit UoT start at the
+	// Section V model's predicted operating point instead of UoTBlocks, and
+	// every edge's UoT is adjusted AIMD-style at delivery boundaries from
+	// backlog, stall-time, and consumer service-time gauges. The PR3
+	// memory-pressure raise becomes one policy input of the controller
+	// rather than a separate code path. Off by default: a static run's
+	// schedule is untouched.
+	AdaptiveUoT bool
+	// AdaptiveConfig tunes the controller when AdaptiveUoT is set. Zero
+	// fields inherit the run's Workers/TempBlockBytes/UoTBlocks and the
+	// controller defaults (see uotctl.Config).
+	AdaptiveConfig uotctl.Config
 	// Trace, if non-nil, collects this execution's observability events —
 	// per-work-order spans, per-edge gauge samples, scheduler annotations —
 	// into the tracer's ring buffer (see internal/trace). One tracer may be
@@ -122,6 +136,19 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		MaxAttempts:    opts.MaxAttempts,
 		RetryBackoff:   opts.RetryBackoff,
 		WODeadline:     opts.WorkOrderDeadline,
+	}
+	if opts.AdaptiveUoT {
+		ac := opts.AdaptiveConfig
+		if ac.Workers == 0 {
+			ac.Workers = opts.Workers
+		}
+		if ac.BlockBytes == 0 {
+			ac.BlockBytes = opts.TempBlockBytes
+		}
+		if ac.DefaultUoT == 0 {
+			ac.DefaultUoT = opts.UoTBlocks
+		}
+		ctx.Adapt = uotctl.New(ac)
 	}
 	// Merge (not overwrite): partitioned plans pre-seed MaxDOP with the
 	// per-partition build clones' cap of 1, which must survive execution

@@ -30,6 +30,10 @@ type mmCfg struct {
 	// (exchange + per-partition clones); like the other fields it must not
 	// change results — partitioning is a scheduling choice, not semantics.
 	Parts int
+	// Adaptive attaches the per-edge adaptive UoT controller: mid-run UoT
+	// changes regroup deliveries but must never change results (int64-only
+	// data makes the equality exact).
+	Adaptive bool
 }
 
 func (c mmCfg) String() string {
@@ -37,7 +41,8 @@ func (c mmCfg) String() string {
 	if c.UoT == core.UoTTable {
 		uot = "table"
 	}
-	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d", c.Workers, uot, c.Temp, c.Parts)
+	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d adaptive=%v",
+		c.Workers, uot, c.Temp, c.Parts, c.Adaptive)
 }
 
 var mmBase = mmCfg{Workers: 1, UoT: 1, Temp: 16 << 10}
@@ -59,6 +64,9 @@ var mmVariants = []mmCfg{
 	{Workers: 7, UoT: 1, Temp: 16 << 10, Parts: 8},
 	{Workers: 4, UoT: 64, Temp: 4 << 10, Parts: 4},
 	{Workers: 7, UoT: core.UoTTable, Temp: 16 << 10, Parts: 2},
+	{Workers: 1, UoT: 1, Temp: 16 << 10, Adaptive: true},
+	{Workers: 7, UoT: 1, Temp: 4 << 10, Adaptive: true},
+	{Workers: 4, UoT: 16, Temp: 16 << 10, Parts: 4, Adaptive: true},
 }
 
 // mmSpec is a fully-resolved random plan: data shape and operator choices.
@@ -229,6 +237,7 @@ func (s *mmSpec) build(parts int) *engine.Builder {
 func (s *mmSpec) runEncoded(cfg mmCfg) (string, error) {
 	res, err := engine.Execute(s.build(cfg.Parts), engine.Options{
 		Workers: cfg.Workers, UoTBlocks: cfg.UoT, TempBlockBytes: cfg.Temp,
+		AdaptiveUoT: cfg.Adaptive,
 	})
 	if err != nil {
 		return "", err
@@ -249,6 +258,7 @@ func (s *mmSpec) shrinkConfig(t *testing.T, failing mmCfg, want string) mmCfg {
 			func(c mmCfg) mmCfg { c.UoT = mmBase.UoT; return c },
 			func(c mmCfg) mmCfg { c.Temp = mmBase.Temp; return c },
 			func(c mmCfg) mmCfg { c.Parts = mmBase.Parts; return c },
+			func(c mmCfg) mmCfg { c.Adaptive = mmBase.Adaptive; return c },
 		} {
 			trial := reduce(cur)
 			if trial == cur {

@@ -167,7 +167,27 @@ type Run struct {
 	// when a metrics snapshot runs concurrently with the query.
 	poolCheckouts int64
 
-	robust Robustness
+	robust   Robustness
+	edgeUoTs []EdgeUoT
+}
+
+// EdgeUoT is the per-pipelined-edge UoT story of one run, recorded by the
+// scheduler at run end. Start is the *resolved* starting UoT (the declared
+// per-edge value, the run default, or the adaptive controller's model
+// prior), so experiments need not re-derive the Edge.UoT==0 fallback; Final
+// is where the edge ended up, and the counters attribute every controller
+// decision along the way.
+type EdgeUoT struct {
+	From, To         int    // operator IDs
+	FromName, ToName string // operator display names
+	Input            int    // consumer input index
+	Declared         int    // per-edge UoT from the plan (0 = run default)
+	Start            int    // resolved starting UoT
+	Final            int    // UoT when the run ended
+	Raises           int64  // UoT increases (feedback or memory pressure)
+	Lowers           int64  // UoT decreases (feedback)
+	Holds            int64  // observations that left the UoT unchanged
+	Snaps            int64  // snaps to UoTTable past the ceiling
 }
 
 // Robustness aggregates the fault-tolerance counters of one run: what the
@@ -192,8 +212,11 @@ type Robustness struct {
 	// or was canceled.
 	Cancellations int64
 	// UoTRaises counts producer-edge UoT raises under sustained memory
-	// pressure (the degradation ladder's last rung).
+	// pressure (the degradation ladder's last rung). UoTSnaps counts the
+	// terminal step separately: edges snapped all the way to UoTTable past
+	// the degradation ceiling.
 	UoTRaises int64
+	UoTSnaps  int64
 	// LeakedBlocks is the invariant checker's count of blocks still
 	// buffered on edges, held by operators, or checked in as partials
 	// after the run; OutstandingRefs is its count of live refcount
@@ -251,6 +274,31 @@ func (r *Run) AddUoTRaise() {
 	r.mu.Lock()
 	r.robust.UoTRaises++
 	r.mu.Unlock()
+}
+
+// AddUoTSnap records one edge snapped to UoTTable past the degradation
+// ceiling.
+func (r *Run) AddUoTSnap() {
+	r.mu.Lock()
+	r.robust.UoTSnaps++
+	r.mu.Unlock()
+}
+
+// SetEdgeUoTs records the per-edge UoT snapshot (scheduler, at run end).
+func (r *Run) SetEdgeUoTs(edges []EdgeUoT) {
+	r.mu.Lock()
+	r.edgeUoTs = edges
+	r.mu.Unlock()
+}
+
+// EdgeUoTs returns a copy of the per-edge UoT snapshot, one entry per
+// pipelined edge in plan order (nil before the run finishes).
+func (r *Run) EdgeUoTs() []EdgeUoT {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EdgeUoT, len(r.edgeUoTs))
+	copy(out, r.edgeUoTs)
+	return out
 }
 
 // SetLeaks records the invariant checker's post-run leak counts.

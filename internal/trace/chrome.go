@@ -148,10 +148,22 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				name = "retry scheduled"
 			case MarkUoTRaise:
 				name = "uot raised"
+			case MarkUoTLower:
+				name = "uot lowered"
+			case MarkUoTSnap:
+				name = "uot snapped to table"
 			case MarkRunEnd:
 				name = "run end"
 			}
 			args := map[string]any{"op": e.Op}
+			if e.Mark == MarkUoTRaise || e.Mark == MarkUoTLower || e.Mark == MarkUoTSnap {
+				args["edge"] = e.Edge
+				if e.UoT > 1<<40 {
+					args["uot"] = "table"
+				} else if e.UoT > 0 {
+					args["uot"] = e.UoT
+				}
+			}
 			if e.Attempt > 0 {
 				args["attempt"] = e.Attempt
 			}

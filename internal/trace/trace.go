@@ -54,8 +54,10 @@ type MarkCode uint8
 const (
 	// MarkRetry: a transiently-failed work order was re-queued with backoff.
 	MarkRetry MarkCode = iota + 1
-	// MarkUoTRaise: the scheduler raised an operator's out-edge UoTs under
-	// sustained memory pressure.
+	// MarkUoTRaise: an edge's UoT was raised — doubled under sustained
+	// memory pressure, or stepped up by the adaptive controller (Edge names
+	// the edge, UoT carries the new value; legacy pressure marks before the
+	// controller carried only Op).
 	MarkUoTRaise
 	// MarkRunEnd: the run finished (FlagFailed set if it errored).
 	MarkRunEnd
@@ -63,6 +65,13 @@ const (
 	// received more than half of all scattered rows (Rows carries the
 	// dominant partition's row count, RowsOut the total).
 	MarkPartitionSkew
+	// MarkUoTLower: the adaptive controller refined an edge's UoT (Edge
+	// names the edge, UoT carries the new value).
+	MarkUoTLower
+	// MarkUoTSnap: an edge's UoT snapped to UoTTable past the degradation
+	// ceiling — the terminal blocking regime, distinct from MarkUoTRaise so
+	// plots can attribute regime switches.
+	MarkUoTSnap
 )
 
 // Span flag bits.

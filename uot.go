@@ -35,10 +35,12 @@ import (
 	"repro/internal/faults"
 	"repro/internal/memmodel"
 	"repro/internal/monet"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 	"repro/internal/trace"
 	"repro/internal/types"
+	"repro/internal/uotctl"
 )
 
 // UoTTable is the UoT value meaning "the whole intermediate table" — the
@@ -192,6 +194,27 @@ type (
 //	tr.WriteChromeFile("trace.json")        // timeline for chrome://tracing
 //	tr.Snapshot().WritePrometheus(os.Stdout) // metrics scrape text
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// Adaptive unit-of-transfer control: setting Options.AdaptiveUoT attaches a
+// per-edge controller (see internal/uotctl) that seeds undeclared edges with
+// the Section V analytical model's predicted operating point and then
+// adjusts each pipelined edge's UoT AIMD-style at delivery boundaries from
+// backlog, stall-time, and consumer service-time gauges — with hysteresis,
+// cooldown, and floor/ceiling clamps. The memory-pressure degradation raise
+// routes through the same controller, so pressure and feedback decisions
+// compose instead of fighting:
+//
+//	res, err := uot.Execute(b, uot.Options{Workers: 8, AdaptiveUoT: true})
+//	for _, e := range res.Run.EdgeUoTs() { ... } // per-edge UoT trajectory
+type (
+	// AdaptiveConfig tunes the adaptive controller (Options.AdaptiveConfig);
+	// the zero value inherits the run's workers/block-size/default-UoT and
+	// the controller defaults.
+	AdaptiveConfig = uotctl.Config
+	// EdgeUoT is one pipelined edge's recorded UoT trajectory: declared and
+	// resolved starting values, final value, and per-decision counts.
+	EdgeUoT = stats.EdgeUoT
+)
 
 // TPCH is a loaded TPC-H dataset.
 type TPCH = tpch.Dataset
