@@ -4,6 +4,7 @@
 //
 //	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [-adaptive] [IDs...]
 //	uotbench -micro [-json BENCH_PR1.json]
+//	uotbench -serve [-json BENCH_PR8.json]
 //
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
@@ -11,8 +12,11 @@
 // the batch-kernel contention profile, AGG for the aggregation-kernel
 // profile, SORT for the parallel-sort/top-k kernel profile, CHAOS for the
 // fault-injection robustness check — TPC-H under a seeded fault schedule
-// must match the fault-free results exactly — and ADAPT for the adaptive
-// per-edge UoT controller vs. the static settings).
+// must match the fault-free results exactly — ADAPT for the adaptive
+// per-edge UoT controller vs. the static settings, SERVE for the concurrent
+// multi-query serving check — admission control, load shedding, and
+// bit-identical results under 16 concurrent clients — and CCHAOS for
+// serving under concurrent fault injection).
 //
 // -adaptive turns the per-edge adaptive UoT controller on for the wall-clock
 // experiments that execute real queries (FIG7, FIG8, FIG10, TAB6): their
@@ -25,6 +29,11 @@
 // normalized-key sort kernels) and, with -json, writes the machine-readable
 // perf artifact that tracks kernel throughput across PRs (BENCH_PR1.json,
 // BENCH_PR2.json).
+//
+// -serve runs the closed-loop serving sweep instead: 1, 4, and 16 clients
+// submitting the TPC-H mix through a shared session, reporting throughput
+// and latency percentiles (golden-checked against single-query results);
+// with -json it writes the machine-readable artifact (BENCH_PR8.json).
 //
 // -trace out.json attaches an execution tracer to the experiments that
 // support it (FIG2, FIG3) and writes the collected timeline as a Chrome
@@ -57,7 +66,8 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "run wall-clock query experiments with the adaptive per-edge UoT controller")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
-	jsonPath := flag.String("json", "", "with -micro: write the machine-readable results to this file")
+	serve := flag.Bool("serve", false, "run the closed-loop serving sweep (1/4/16 clients) instead of the experiments")
+	jsonPath := flag.String("json", "", "with -micro or -serve: write the machine-readable results to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the traced experiments (FIG2, FIG3) to this file")
 	metricsPath := flag.String("metrics", "", "write the tracer's aggregate metrics snapshot as JSON to this file")
 	promPath := flag.String("prom", "", "write the tracer's aggregate metrics snapshot as Prometheus text to this file")
@@ -66,6 +76,23 @@ func main() {
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	if *serve {
+		rep, err := bench.RunServe(bench.Config{SF: *sf, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 		return
 	}

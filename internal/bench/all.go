@@ -37,6 +37,8 @@ func Experiments() []Experiment {
 		{"EXCH", "exchange profile (partition-local pipelines vs shared-state join+agg)", (*Harness).ExchangeProfile},
 		{"CHAOS", "robustness: seeded fault injection vs fault-free results", (*Harness).Chaos},
 		{"ADAPT", "adaptive per-edge UoT controller vs static settings", (*Harness).AdaptiveProfile},
+		{"SERVE", "concurrent serving: admission control, shedding, isolation", (*Harness).Serve},
+		{"CCHAOS", "concurrent serving under seeded fault injection", (*Harness).ConcurrentChaos},
 	}
 }
 

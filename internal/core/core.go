@@ -35,6 +35,35 @@ const UoTTable = int(^uint(0) >> 1) // max int
 // OpID identifies an operator within a plan.
 type OpID int
 
+// Task is one unit of work a run submits to a shared Executor: a closure the
+// executor must run exactly once on one of its workers, labeled with the
+// submitting query and its priority class so the executor can dispatch
+// fairly across concurrent queries.
+type Task struct {
+	// Query identifies the submitting query (ExecCtx.Query).
+	Query int
+	// Priority is the query's priority class; higher runs first
+	// (ExecCtx.Priority).
+	Priority int
+	// Run executes the work; worker is the executor worker index it landed
+	// on (for worker-attributed tracing).
+	Run func(worker int)
+}
+
+// Executor runs tasks on a worker pool shared across concurrent runs. When
+// ExecCtx.Exec is set, the scheduler does not spawn its own workers: it
+// submits each dispatched work order as a Task and ExecCtx.Workers becomes
+// the run's in-flight cap (how many of its tasks may execute concurrently)
+// instead of a goroutine count. The session layer's WorkerPool is the
+// canonical implementation.
+type Executor interface {
+	// Submit enqueues the task; it must eventually run exactly once.
+	// Submit may block briefly for queue admission but must not wait for
+	// the task itself — the scheduler submits from its coordination
+	// goroutine and relies on completions flowing back concurrently.
+	Submit(t Task)
+}
+
 // ExecCtx carries the per-run execution environment into work orders.
 type ExecCtx struct {
 	// Pool is the global temporary-block pool (Section III-A).
@@ -53,8 +82,26 @@ type ExecCtx struct {
 	// base-table format (Section IV-B).
 	TempBlockBytes int
 	TempFormat     storage.Format
-	// Workers is the number of worker threads (T in the model).
+	// Workers is the number of worker threads (T in the model). With a
+	// shared Executor attached it is the run's in-flight task cap instead
+	// of a goroutine count (see Executor).
 	Workers int
+	// Exec, if non-nil, is a worker pool shared across concurrent runs: the
+	// scheduler spawns no workers of its own and submits work orders as
+	// Tasks. Nil keeps the single-query behavior (per-run goroutines).
+	Exec Executor
+	// Query identifies this run among concurrent runs sharing an Executor,
+	// a storage pool, or a tracer; it labels submitted tasks and trace
+	// events. 0 is a valid id (the single-query default).
+	Query int
+	// Priority is the run's dispatch priority class on a shared Executor;
+	// higher is served first. Within a class the executor is fair.
+	Priority int
+	// TraceRun is the tracer section handle this run records into: 0 (the
+	// default) means the tracer's current section — the single-query
+	// behavior — and a positive handle (from Tracer.OpenRun) pins the run
+	// to its own section so concurrent runs can share one tracer.
+	TraceRun int32
 	// MemoryBudget, if positive, caps live temporary-block bytes softly:
 	// while exceeded, the scheduler stops dispatching block-producing work
 	// orders until in-flight consumers drain (a Section III-C scheduler
@@ -341,6 +388,19 @@ type StagedOperator interface {
 	// releases them during cleanup; after a successful emit the operator
 	// must return nil, since ownership moved to the out-edges.
 	AbandonStages() []*storage.Block
+}
+
+// AdoptingOperator is an optional extension for operators that adopt fed
+// blocks (AdoptsInputs() == true, e.g. the result collector). On an aborted
+// run the scheduler asks for the adopted blocks back so cleanup can release
+// them — a partial result is meaningless, and under a shared pool every block
+// of a failed query must return to the global accounting. Successful runs
+// are never asked; adopted blocks then belong to whoever reads the result.
+type AdoptingOperator interface {
+	Operator
+	// AbandonAdopted surrenders every block adopted so far and resets the
+	// operator's sink state.
+	AbandonAdopted() []*storage.Block
 }
 
 // PartitionedOutput is an optional Operator extension for operators that
@@ -643,6 +703,11 @@ func (e *DeadlineError) Error() string {
 
 // Transient marks deadline misses retryable.
 func (e *DeadlineError) Transient() bool { return true }
+
+// Is maps work-order deadline misses onto the typed taxonomy: a run that
+// fails because an attempt exhausted its retry budget on deadline misses
+// matches ErrDeadlineExceeded.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadlineExceeded }
 
 // PanicError is a recovered work-order panic with the goroutine stack
 // captured at the panic site (satisfying the "panics must be diagnosable"

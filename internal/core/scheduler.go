@@ -185,12 +185,12 @@ func (s *sched) build(defaultUoT int) {
 		s.states[op].scalarSlots = append(s.states[op].scalarSlots, slot)
 	}
 	if tr := s.ctx.Trace; tr.Enabled() {
-		tr.SetWorkers(s.ctx.Workers)
+		tr.SetWorkersIn(s.ctx.TraceRun, s.ctx.Workers)
 		for i, st := range s.states {
-			tr.RegisterOp(i, st.op.Name())
+			tr.RegisterOpIn(s.ctx.TraceRun, i, st.op.Name())
 		}
 		for i, es := range s.edges {
-			tr.RegisterEdge(i, trace.EdgeInfo{
+			tr.RegisterEdgeIn(s.ctx.TraceRun, i, trace.EdgeInfo{
 				From: int(es.e.From), To: int(es.e.To),
 				FromName:  s.states[es.e.From].op.Name(),
 				ToName:    s.states[es.e.To].op.Name(),
@@ -261,17 +261,23 @@ func (s *sched) run() error {
 		}
 	}
 
-	s.dispatch = make(chan job)
+	// With a shared executor the run spawns no workers: dispatched jobs are
+	// submitted as tasks and complete through s.results, which is buffered
+	// at the in-flight cap so a completing task never blocks on the
+	// scheduler goroutine.
 	s.results = make(chan wres, s.ctx.Workers)
-	for w := 0; w < s.ctx.Workers; w++ {
-		go s.worker(w)
+	if s.ctx.Exec == nil {
+		s.dispatch = make(chan job)
+		for w := 0; w < s.ctx.Workers; w++ {
+			go s.worker(w)
+		}
+		defer close(s.dispatch)
 	}
-	defer close(s.dispatch)
 
 	for s.doneOps < len(s.states) {
 		if s.runErr == nil {
 			if err := s.ctx.Canceled(); err != nil {
-				s.fail(fmt.Errorf("core: run canceled: %w", err))
+				s.fail(&CancelError{Cause: err})
 			}
 		}
 		// Drain pending results before dispatching: pickJob then decides
@@ -304,6 +310,22 @@ func (s *sched) run() error {
 			break
 		}
 		j := s.queue[ji]
+		if s.ctx.Exec != nil {
+			// Shared-executor dispatch: hand the job to the cross-query
+			// pool. Submit may block for queue admission; completions of
+			// this run's other tasks accumulate in the buffered results
+			// channel meanwhile (at most Workers-1 of them are out).
+			s.queue = append(s.queue[:ji], s.queue[ji+1:]...)
+			s.states[j.op].queued--
+			s.states[j.op].inflight++
+			s.inflight++
+			s.ctx.Exec.Submit(Task{
+				Query:    s.ctx.Query,
+				Priority: s.ctx.Priority,
+				Run:      func(worker int) { s.runJob(j, worker, false) },
+			})
+			continue
+		}
 		select {
 		case s.dispatch <- j:
 			s.queue = append(s.queue[:ji], s.queue[ji+1:]...)
@@ -321,7 +343,7 @@ func (s *sched) run() error {
 	s.cleanup()
 	s.checkInvariants()
 	s.recordEdgeUoTs()
-	s.ctx.Trace.EndRun(s.runErr != nil)
+	s.ctx.Trace.EndRunIn(s.ctx.TraceRun, s.runErr != nil)
 	return s.runErr
 }
 
@@ -531,14 +553,14 @@ func (s *sched) applyUoT(es *edgeState, a uotctl.Action, pressure bool) {
 		if pressure && s.ctx.Run != nil {
 			s.ctx.Run.AddUoTRaise()
 		}
-		s.ctx.Trace.Mark(trace.MarkUoTRaise, trace.Event{
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkUoTRaise, trace.Event{
 			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
 			StartNS: s.ctx.Trace.Now(),
 		})
 	case uotctl.Lower:
 		es.uot = a.UoT
 		es.lowers++
-		s.ctx.Trace.Mark(trace.MarkUoTLower, trace.Event{
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkUoTLower, trace.Event{
 			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
 			StartNS: s.ctx.Trace.Now(),
 		})
@@ -548,7 +570,7 @@ func (s *sched) applyUoT(es *edgeState, a uotctl.Action, pressure bool) {
 		if s.ctx.Run != nil {
 			s.ctx.Run.AddUoTSnap()
 		}
-		s.ctx.Trace.Mark(trace.MarkUoTSnap, trace.Event{
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkUoTSnap, trace.Event{
 			Op: int32(es.e.From), Edge: es.id, UoT: int64(es.uot),
 			StartNS: s.ctx.Trace.Now(),
 		})
@@ -581,24 +603,34 @@ func (s *sched) worker(id int) {
 		pprof.Labels("uot_worker", strconv.Itoa(id))))
 	lastOp := OpID(-1)
 	for j := range s.dispatch {
-		out := &Output{}
-		if s.ctx.Sim != nil && j.op != lastOp {
-			// A worker switching operators re-fills the instruction
-			// cache: the IC term of the Section V model.
-			out.Sim += s.ctx.Sim.ContextSwitch()
-		}
+		// A worker switching operators re-fills the instruction cache: the
+		// IC term of the Section V model. Dedicated-worker mode only —
+		// shared-executor workers interleave queries arbitrarily, so the
+		// per-worker operator-affinity model does not transfer there.
+		s.runJob(j, id, j.op != lastOp)
 		lastOp = j.op
-		start := now()
-		var err error
-		if cerr := s.ctx.Canceled(); cerr != nil {
-			// Canceled while queued: report without running at all.
-			err = cerr
-		} else {
-			err = runSafely(j.wo, s.ctx, out, start)
-		}
-		s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: id,
-			attempt: j.attempt + 1, err: err, enqueueNS: j.enqueueNS, batch: j.batch, edge: j.edge}
 	}
+}
+
+// runJob executes one work-order attempt on the given worker and reports its
+// result on s.results. It is the body shared by dedicated workers and
+// shared-executor tasks; the results channel is buffered at the in-flight
+// cap, so the send never blocks.
+func (s *sched) runJob(j job, worker int, simSwitch bool) {
+	out := &Output{}
+	if simSwitch && s.ctx.Sim != nil {
+		out.Sim += s.ctx.Sim.ContextSwitch()
+	}
+	start := now()
+	var err error
+	if cerr := s.ctx.Canceled(); cerr != nil {
+		// Canceled while queued: report without running at all.
+		err = cerr
+	} else {
+		err = runSafely(j.wo, s.ctx, out, start)
+	}
+	s.results <- wres{op: j.op, wo: j.wo, out: out, start: start, end: now(), worker: worker,
+		attempt: j.attempt + 1, err: err, enqueueNS: j.enqueueNS, batch: j.batch, edge: j.edge}
 }
 
 // runSafely executes one work-order attempt. Panics are recovered into
@@ -721,7 +753,7 @@ func (s *sched) onComplete(r wres) {
 		if retry {
 			flags |= trace.FlagRetried
 		}
-		tr.Span(trace.Event{
+		tr.SpanIn(s.ctx.TraceRun, trace.Event{
 			Op:        int32(r.op),
 			Worker:    int32(r.worker),
 			Attempt:   int32(r.attempt),
@@ -751,7 +783,7 @@ func (s *sched) onComplete(r wres) {
 		if s.ctx.Run != nil {
 			s.ctx.Run.AddRetry()
 		}
-		s.ctx.Trace.Mark(trace.MarkRetry, trace.Event{
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkRetry, trace.Event{
 			Op: int32(r.op), Attempt: int32(r.attempt), Batch: r.batch,
 			StartNS: s.ctx.Trace.Now(),
 		})
@@ -767,9 +799,12 @@ func (s *sched) onComplete(r wres) {
 		return
 	}
 	if r.err != nil && s.runErr == nil {
-		err := r.err
+		// Work orders that died of run cancellation (canceled while queued,
+		// or aborted at an emitter interruption point) surface the raw
+		// context error; type it like the run-loop path does.
+		err := wrapCancel(r.err)
 		if r.attempt > 1 {
-			err = fmt.Errorf("core: work order for %s failed after %d attempts: %w", st.op.Name(), r.attempt, r.err)
+			err = fmt.Errorf("core: work order for %s failed after %d attempts: %w", st.op.Name(), r.attempt, err)
 		}
 		s.fail(err)
 	}
@@ -820,7 +855,11 @@ func (s *sched) emit(st *opState, blocks []*storage.Block, tags map[*storage.Blo
 				refs++
 			}
 		}
-		if tag >= 0 && !matched {
+		if !matched {
+			// No pipelined consumer takes this block — a partition-tagged
+			// block whose partition no edge carries, or output of an operator
+			// with only blocking/gate consumers (e.g. a scalar provider,
+			// whose value travels via ScalarValue, not blocks). Reclaim it.
 			s.ctx.Pool.Release(b)
 			if s.ctx.Sim != nil {
 				s.ctx.Sim.Evict(b)
@@ -926,7 +965,7 @@ func (s *sched) sampleEdge(es *edgeState, delivered int, stallNS int64) {
 	if s.ctx.Run != nil {
 		pool = s.ctx.Run.Intermediates.Live()
 	}
-	s.ctx.Trace.Edge(trace.Event{
+	s.ctx.Trace.EdgeIn(s.ctx.TraceRun, trace.Event{
 		Edge:       es.id,
 		StartNS:    s.ctx.Trace.Now(),
 		Buffered:   int32(len(es.buf)),
@@ -1122,6 +1161,13 @@ func (s *sched) cleanup() {
 		// about them.
 		if so, ok := st.op.(StagedOperator); ok {
 			for _, b := range so.AbandonStages() {
+				release(b)
+			}
+		}
+		// Blocks an adopting sink already took (a partial result table) go
+		// back too — ownership only transfers on success.
+		if ao, ok := st.op.(AdoptingOperator); ok {
+			for _, b := range ao.AbandonAdopted() {
 				release(b)
 			}
 		}

@@ -150,6 +150,53 @@ func Partitions(rows int64, workers int) int {
 	return p
 }
 
+// DefaultStatefulBytes is the admission estimator's default footprint for
+// one stateful operator (hash-table build, aggregation, sort) when nothing
+// better is known. Deliberately conservative for the small-to-medium scale
+// factors the serving experiments run at; callers with cardinality knowledge
+// pass their own figure (memmodel.HashTableSize is the Section VI model).
+const DefaultStatefulBytes = 4 << 20
+
+// maxEstimatedUoT clamps per-edge UoT values in the admission estimate: an
+// edge at UoTTable buffers the whole intermediate table, which the estimator
+// cannot bound, so it charges a deep-but-finite backlog instead.
+const maxEstimatedUoT = 64
+
+// QueryMemory estimates the peak temporary-block memory of one query, the
+// figure the admission controller charges against the global budget. It is
+// a structural upper-sketch, not a cardinality model: every pipelined edge
+// may hold up to its UoT threshold in buffered blocks awaiting delivery,
+// every in-flight work order holds one output block being filled, and every
+// stateful operator (build, agg, sort) keeps materialized state.
+//
+// edgeUoTs are the resolved per-edge UoT thresholds in blocks (see
+// core.ResolveUoT); workers is the query's in-flight work-order cap;
+// blockBytes the temp-block size; statefulOps the count of state-keeping
+// operators and statefulBytes the per-operator state estimate (0 means
+// DefaultStatefulBytes).
+func QueryMemory(edgeUoTs []int, workers int, blockBytes int64, statefulOps int, statefulBytes int64) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if blockBytes <= 0 {
+		blockBytes = 128 << 10
+	}
+	if statefulBytes <= 0 {
+		statefulBytes = DefaultStatefulBytes
+	}
+	buffered := int64(0)
+	for _, u := range edgeUoTs {
+		if u <= 0 {
+			u = 1
+		}
+		if u > maxEstimatedUoT {
+			u = maxEstimatedUoT
+		}
+		buffered += int64(u)
+	}
+	return (buffered+int64(workers))*blockBytes + int64(statefulOps)*statefulBytes
+}
+
 // StoreParams models the persistent-store setting of Section V-C, where the
 // hash table stays in the buffer pool (p1 ≈ p2 ≈ 0) and UoT reads/writes hit
 // the storage device.

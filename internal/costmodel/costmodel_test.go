@@ -99,3 +99,26 @@ func TestRegimePresets(t *testing.T) {
 		t.Fatal("low regime: p2 should be high")
 	}
 }
+
+func TestQueryMemory(t *testing.T) {
+	blk := int64(128 << 10)
+	// Two unit-UoT edges, one worker, no stateful ops: 3 blocks live at peak.
+	if got := QueryMemory([]int{1, 1}, 1, blk, 0, 0); got != 3*blk {
+		t.Fatalf("QueryMemory = %d, want %d", got, 3*blk)
+	}
+	// UoTTable edges clamp instead of overflowing.
+	huge := QueryMemory([]int{1 << 30}, 4, blk, 0, 0)
+	if huge <= 0 || huge > 1<<30 {
+		t.Fatalf("clamped estimate out of range: %d", huge)
+	}
+	// Stateful operators add DefaultStatefulBytes each when unsized.
+	base := QueryMemory([]int{1}, 1, blk, 0, 0)
+	withState := QueryMemory([]int{1}, 1, blk, 2, 0)
+	if withState-base != 2*DefaultStatefulBytes {
+		t.Fatalf("stateful delta = %d, want %d", withState-base, int64(2*DefaultStatefulBytes))
+	}
+	// Monotone in workers.
+	if QueryMemory([]int{1}, 8, blk, 0, 0) <= QueryMemory([]int{1}, 1, blk, 0, 0) {
+		t.Fatal("estimate must grow with the in-flight cap")
+	}
+}

@@ -89,6 +89,25 @@ type Options struct {
 	Trace *trace.Tracer
 	// TraceLabel names this execution's section in the trace ("Q3 uot=4").
 	TraceLabel string
+
+	// Exec, if non-nil, runs this query's work orders on a worker pool
+	// shared across concurrent queries instead of per-query goroutines;
+	// Workers then caps the query's in-flight work orders. See
+	// internal/session for the serving layer built on it.
+	Exec core.Executor
+	// SharedPool, if non-nil, is the global temp-block pool this execution
+	// draws from through a per-query Subpool view (isolated partial-block
+	// namespace and per-query gauge, shared freelist). NoPoolRecycle is
+	// ignored in this mode — recycling policy belongs to the pool's owner.
+	SharedPool *storage.Pool
+	// QueryID identifies the query among concurrent executions sharing
+	// Exec, SharedPool, or Trace: it labels the run's stats snapshot, its
+	// trace section, and its submitted tasks. Only meaningful in serving
+	// mode (Exec or SharedPool set).
+	QueryID int
+	// Priority is the query's dispatch priority class on the shared
+	// executor (higher first; fair within a class).
+	Priority int
 }
 
 func (o Options) withDefaults() Options {
@@ -117,11 +136,26 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("engine: plan has no Collect sink")
 	}
 	run := stats.NewRun()
-	pool := storage.NewPool(&run.Intermediates, run.AddCheckout)
-	if opts.NoPoolRecycle {
-		pool.DisableRecycling()
+	serving := opts.Exec != nil || opts.SharedPool != nil
+	var pool *storage.Pool
+	if opts.SharedPool != nil {
+		pool = opts.SharedPool.Subpool(&run.Intermediates, run.AddCheckout)
+	} else {
+		pool = storage.NewPool(&run.Intermediates, run.AddCheckout)
+		if opts.NoPoolRecycle {
+			pool.DisableRecycling()
+		}
 	}
-	opts.Trace.StartRun(opts.TraceLabel)
+	var traceRun int32
+	if serving {
+		// Concurrent executions each record into their own trace section;
+		// the sequential path keeps the current-section behavior so shared
+		// tracers (the FIG2 sweep) see sections in execution order.
+		run.SetQuery(opts.QueryID, opts.TraceLabel)
+		traceRun = opts.Trace.OpenRun(opts.TraceLabel, opts.QueryID)
+	} else {
+		opts.Trace.StartRun(opts.TraceLabel)
+	}
 	ctx := &core.ExecCtx{
 		Pool:           pool,
 		Sim:            opts.Sim,
@@ -129,6 +163,10 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		TempBlockBytes: opts.TempBlockBytes,
 		TempFormat:     opts.TempFormat,
 		Workers:        opts.Workers,
+		Exec:           opts.Exec,
+		Query:          opts.QueryID,
+		Priority:       opts.Priority,
+		TraceRun:       traceRun,
 		MemoryBudget:   opts.MemoryBudget,
 		Trace:          opts.Trace,
 		Ctx:            opts.Context,
@@ -168,6 +206,13 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.SharedPool != nil {
+		// The result table's blocks leave the shared pool with the client:
+		// stop counting them as live intermediates, globally and per query,
+		// or the serving layer's memory picture grows by every result ever
+		// returned. (Failed runs instead release adopted blocks in cleanup.)
+		pool.Disown(b.collect.Result().AllocBytes())
 	}
 	return &Result{Table: b.collect.Result(), Run: run}, nil
 }

@@ -149,7 +149,7 @@ func (o *Op) Final(ctx *core.ExecCtx) []core.WorkOrder {
 		return nil
 	}
 	o.skewed = true
-	ctx.Trace.Mark(trace.MarkPartitionSkew, trace.Event{
+	ctx.Trace.MarkIn(ctx.TraceRun, trace.MarkPartitionSkew, trace.Event{
 		Op: int32(o.self), StartNS: ctx.Trace.Now(), Rows: max, RowsOut: total,
 	})
 	return []core.WorkOrder{&skewWO{op: o}}

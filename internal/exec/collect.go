@@ -37,3 +37,14 @@ func (o *CollectOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core
 
 // Result returns the collected result table.
 func (o *CollectOp) Result() *storage.Table { return o.result }
+
+// AbandonAdopted implements core.AdoptingOperator: when a run aborts, the
+// blocks already adopted into the result table are handed back to the
+// scheduler's cleanup for release (the partial result is meaningless, and a
+// serving layer must get every pool block back from a failed query). The
+// collector is left with a fresh empty table.
+func (o *CollectOp) AbandonAdopted() []*storage.Block {
+	t := o.result
+	o.result = storage.NewTable(t.Name(), t.Schema(), t.Format(), t.BlockBytes())
+	return t.Blocks()
+}

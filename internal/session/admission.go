@@ -1,0 +1,265 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrAdmissionRejected is the load-shedding sentinel: every *AdmissionError
+// matches it via errors.Is, so clients distinguish "the server refused to
+// start this query" from "the query ran and failed" with one check.
+var ErrAdmissionRejected = errors.New("session: admission rejected")
+
+// ErrSessionClosed reports a Submit against a closed session (including
+// queries still waiting in the admission queue when Close ran).
+var ErrSessionClosed = errors.New("session: closed")
+
+// RejectReason says why admission shed a query.
+type RejectReason int
+
+const (
+	// QueueFull: the bounded wait queue was at capacity.
+	QueueFull RejectReason = iota
+	// DeadlineBlown: the request's deadline expired before it was admitted
+	// (already blown at submit, or while queued).
+	DeadlineBlown
+	// OverBudget: the query's estimated memory exceeds the global budget —
+	// it could never be admitted, so waiting would be futile.
+	OverBudget
+)
+
+func (r RejectReason) String() string {
+	switch r {
+	case QueueFull:
+		return "queue full"
+	case DeadlineBlown:
+		return "deadline blown"
+	case OverBudget:
+		return "over budget"
+	}
+	return "unknown"
+}
+
+// AdmissionError is a typed load-shedding rejection. It matches
+// ErrAdmissionRejected always, and additionally core.ErrMemoryBudget
+// (OverBudget) or core.ErrDeadlineExceeded (DeadlineBlown) so callers can
+// branch on the cause without string inspection.
+type AdmissionError struct {
+	Reason RejectReason
+	Detail string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("session: admission rejected (%s): %s", e.Reason, e.Detail)
+}
+
+// Is implements errors.Is matching.
+func (e *AdmissionError) Is(target error) bool {
+	switch target {
+	case ErrAdmissionRejected:
+		return true
+	case core.ErrMemoryBudget:
+		return e.Reason == OverBudget
+	case core.ErrDeadlineExceeded:
+		return e.Reason == DeadlineBlown
+	}
+	return false
+}
+
+// waiter is one query parked in the admission queue.
+type waiter struct {
+	priority  int
+	seq       uint64 // arrival order, for FIFO within a priority class
+	est       int64
+	ready     chan struct{}
+	err       error // set before ready closes; nil = granted
+	abandoned bool  // waiter gave up (cancel/deadline); skip at pump
+}
+
+// admission is the controller: it holds the global memory budget and the
+// concurrency cap, parks excess arrivals in a bounded priority queue, and
+// grants strictly in order (priority class descending, FIFO within a class).
+// Head-of-line blocking is deliberate: a large query at the head is never
+// bypassed by small late arrivals, which is what guarantees no starvation.
+type admission struct {
+	mu         sync.Mutex
+	cond       *sync.Cond // signaled when inflight drops (for Close drain)
+	budget     int64
+	maxConc    int
+	queueDepth int
+
+	inflight int
+	reserved int64
+	queue    []*waiter // priority desc, seq asc
+	seq      uint64
+	closed   bool
+}
+
+func (a *admission) init(budget int64, maxConc, queueDepth int) {
+	a.budget = budget
+	a.maxConc = maxConc
+	a.queueDepth = queueDepth
+	a.cond = sync.NewCond(&a.mu)
+}
+
+// waitingLocked counts live (non-abandoned) queued waiters.
+func (a *admission) waitingLocked() int {
+	n := 0
+	for _, w := range a.queue {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// admit blocks until the query may run (nil), or sheds it with a typed
+// error. ctx, if non-nil, aborts the wait: an expired deadline becomes an
+// AdmissionError (the server never started the query — that is load
+// shedding, not a failed run), a plain cancel a *core.CancelError.
+func (a *admission) admit(ctx context.Context, priority int, est int64) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if est > a.budget {
+		a.mu.Unlock()
+		return &AdmissionError{Reason: OverBudget,
+			Detail: fmt.Sprintf("estimated %d bytes exceeds global budget %d", est, a.budget)}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			a.mu.Unlock()
+			if errors.Is(err, context.DeadlineExceeded) {
+				return &AdmissionError{Reason: DeadlineBlown, Detail: "deadline expired before admission"}
+			}
+			return &core.CancelError{Cause: err}
+		}
+	}
+	// Immediate grant only when nobody is queued ahead: strict FIFO within a
+	// class means later arrivals may not jump a parked waiter of >= priority.
+	if a.inflight < a.maxConc && a.reserved+est <= a.budget && !a.blockedByQueueLocked(priority) {
+		a.inflight++
+		a.reserved += est
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waitingLocked() >= a.queueDepth {
+		a.mu.Unlock()
+		return &AdmissionError{Reason: QueueFull,
+			Detail: fmt.Sprintf("wait queue at capacity (%d)", a.queueDepth)}
+	}
+	a.seq++
+	w := &waiter{priority: priority, seq: a.seq, est: est, ready: make(chan struct{})}
+	i := sort.Search(len(a.queue), func(i int) bool {
+		return a.queue[i].priority < priority
+	})
+	a.queue = append(a.queue, nil)
+	copy(a.queue[i+1:], a.queue[i:])
+	a.queue[i] = w
+	a.mu.Unlock()
+
+	if ctx == nil {
+		<-w.ready
+		return w.err
+	}
+	select {
+	case <-w.ready:
+		return w.err
+	case <-ctx.Done():
+	}
+	a.mu.Lock()
+	select {
+	case <-w.ready:
+		// The wait resolved while the cancellation fired.
+		a.mu.Unlock()
+		if w.err != nil {
+			return w.err // session closed under us
+		}
+		a.release(est) // granted: give the slot straight back
+	default:
+		w.abandoned = true
+		a.pumpLocked() // an abandoned head may unblock the next waiter
+		a.mu.Unlock()
+	}
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &AdmissionError{Reason: DeadlineBlown, Detail: "deadline expired while queued"}
+	}
+	return &core.CancelError{Cause: err}
+}
+
+// blockedByQueueLocked reports whether a fresh arrival of the given priority
+// must park behind existing waiters.
+func (a *admission) blockedByQueueLocked(priority int) bool {
+	for _, w := range a.queue {
+		if !w.abandoned && w.priority >= priority {
+			return true
+		}
+	}
+	return false
+}
+
+// pumpLocked grants from the queue head while capacity lasts. Strictly in
+// order: if the head does not fit (budget or concurrency), nothing behind it
+// is considered.
+func (a *admission) pumpLocked() {
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if w.abandoned {
+			a.queue = a.queue[1:]
+			continue
+		}
+		if a.inflight >= a.maxConc || a.reserved+w.est > a.budget {
+			return
+		}
+		a.queue = a.queue[1:]
+		a.inflight++
+		a.reserved += w.est
+		close(w.ready)
+	}
+}
+
+// snapshot reports the controller's current occupancy.
+func (a *admission) snapshot() (inflight, waiting int, reserved int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, a.waitingLocked(), a.reserved
+}
+
+// release returns an admitted query's slot and reservation, then grants to
+// waiters.
+func (a *admission) release(est int64) {
+	a.mu.Lock()
+	a.inflight--
+	a.reserved -= est
+	a.pumpLocked()
+	if a.inflight == 0 {
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// closeAndDrain rejects every parked waiter with ErrSessionClosed, refuses
+// new admissions, and blocks until all admitted queries have released.
+func (a *admission) closeAndDrain() {
+	a.mu.Lock()
+	a.closed = true
+	for _, w := range a.queue {
+		if !w.abandoned {
+			w.err = ErrSessionClosed
+			close(w.ready)
+		}
+	}
+	a.queue = nil
+	for a.inflight > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}

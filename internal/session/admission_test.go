@@ -1,0 +1,192 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newAdm(budget int64, maxConc, depth int) *admission {
+	a := &admission{}
+	a.init(budget, maxConc, depth)
+	return a
+}
+
+// admitAsync parks an admit call on a goroutine and reports its result.
+func admitAsync(a *admission, ctx context.Context, prio int, est int64) chan error {
+	c := make(chan error, 1)
+	go func() { c <- a.admit(ctx, prio, est) }()
+	return c
+}
+
+func waitWaiting(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, w, _ := a.snapshot()
+		if w == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued waiters (have %d)", n, w)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestAdmissionImmediateAndRelease(t *testing.T) {
+	a := newAdm(100, 2, 4)
+	if err := a.admit(nil, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit(nil, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Third exceeds concurrency: parks, then grants on release.
+	c := admitAsync(a, nil, 0, 10)
+	waitWaiting(t, a, 1)
+	a.release(40)
+	if err := <-c; err != nil {
+		t.Fatalf("parked waiter got %v after release", err)
+	}
+	inflight, waiting, reserved := a.snapshot()
+	if inflight != 2 || waiting != 0 || reserved != 50 {
+		t.Fatalf("snapshot = %d/%d/%d, want 2/0/50", inflight, waiting, reserved)
+	}
+}
+
+func TestQueueFullTyped(t *testing.T) {
+	a := newAdm(100, 1, 1)
+	if err := a.admit(nil, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	c := admitAsync(a, nil, 0, 10)
+	waitWaiting(t, a, 1)
+	err := a.admit(nil, 0, 10)
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("err = %v, want ErrAdmissionRejected", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != QueueFull {
+		t.Fatalf("err = %v, want QueueFull", err)
+	}
+	a.release(10)
+	<-c
+}
+
+func TestOverBudgetTyped(t *testing.T) {
+	a := newAdm(100, 4, 4)
+	err := a.admit(nil, 0, 101)
+	if !errors.Is(err, ErrAdmissionRejected) || !errors.Is(err, core.ErrMemoryBudget) {
+		t.Fatalf("err = %v, want rejection matching core.ErrMemoryBudget", err)
+	}
+}
+
+func TestDeadlineBlownTyped(t *testing.T) {
+	a := newAdm(100, 4, 4)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := a.admit(ctx, 0, 10)
+	if !errors.Is(err, ErrAdmissionRejected) || !errors.Is(err, core.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want rejection matching core.ErrDeadlineExceeded", err)
+	}
+}
+
+func TestPriorityGrantOrder(t *testing.T) {
+	a := newAdm(100, 1, 4)
+	if err := a.admit(nil, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	low := admitAsync(a, nil, 0, 10)
+	waitWaiting(t, a, 1)
+	high := admitAsync(a, nil, 5, 10)
+	waitWaiting(t, a, 2)
+
+	a.release(10)
+	select {
+	case err := <-high:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-low:
+		t.Fatal("low-priority waiter granted before high-priority")
+	}
+	a.release(10)
+	if err := <-low; err != nil {
+		t.Fatal(err)
+	}
+	a.release(10)
+}
+
+// TestHeadOfLineNoBypass: a large query at the queue head is never bypassed
+// by a small later arrival, even when the small one would fit — the
+// no-starvation guarantee.
+func TestHeadOfLineNoBypass(t *testing.T) {
+	a := newAdm(100, 4, 4)
+	if err := a.admit(nil, 0, 60); err != nil {
+		t.Fatal(err)
+	}
+	big := admitAsync(a, nil, 0, 50) // 60+50 > 100: parks
+	waitWaiting(t, a, 1)
+	small := admitAsync(a, nil, 0, 10) // would fit, but must not jump the head
+	waitWaiting(t, a, 2)
+	select {
+	case <-small:
+		t.Fatal("small waiter bypassed the blocked head")
+	case <-time.After(5 * time.Millisecond):
+	}
+	a.release(60)
+	if err := <-big; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-small; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbandonedWaiterSkipped: a cancelled waiter at the head no longer
+// blocks grants behind it.
+func TestAbandonedWaiterSkipped(t *testing.T) {
+	a := newAdm(100, 1, 4)
+	if err := a.admit(nil, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	head := admitAsync(a, ctx, 0, 10)
+	waitWaiting(t, a, 1)
+	second := admitAsync(a, nil, 0, 10)
+	waitWaiting(t, a, 2)
+
+	cancel()
+	err := <-head
+	if !errors.Is(err, core.ErrQueryCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	waitWaiting(t, a, 1)
+	a.release(10)
+	if err := <-second; err != nil {
+		t.Fatalf("waiter behind abandoned head got %v", err)
+	}
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	a := newAdm(100, 1, 4)
+	if err := a.admit(nil, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	parked := admitAsync(a, nil, 0, 10)
+	waitWaiting(t, a, 1)
+	done := make(chan struct{})
+	go func() { a.closeAndDrain(); close(done) }()
+	if err := <-parked; !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("parked waiter got %v, want ErrSessionClosed", err)
+	}
+	a.release(10)
+	<-done
+	if err := a.admit(nil, 0, 10); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("post-close admit got %v, want ErrSessionClosed", err)
+	}
+}

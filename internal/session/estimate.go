@@ -1,0 +1,31 @@
+package session
+
+import (
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/exec"
+)
+
+// EstimateBuilder derives a query's admission memory estimate from its plan
+// shape: the resolved UoT of every pipelined edge (blocks that may sit
+// buffered awaiting delivery), the in-flight work-order cap (blocks being
+// filled), and a fixed charge per stateful operator. See
+// costmodel.QueryMemory for the formula.
+func EstimateBuilder(b *engine.Builder, workers, uotDefault int, blockBytes int64) int64 {
+	p := b.Plan()
+	uots := make([]int, 0, len(p.Edges))
+	for _, e := range p.Edges {
+		if e.Kind == core.Pipelined {
+			uots = append(uots, core.ResolveUoT(e, uotDefault, nil))
+		}
+	}
+	stateful := 0
+	for _, op := range p.Ops {
+		switch op.(type) {
+		case *exec.BuildHashOp, *exec.AggOp, *exec.SortOp:
+			stateful++
+		}
+	}
+	return costmodel.QueryMemory(uots, workers, blockBytes, stateful, 0)
+}

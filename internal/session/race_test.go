@@ -1,0 +1,85 @@
+package session
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// TestConcurrentQueriesRace drives ≥4 queries in flight over the shared
+// worker pool and shared block pool while a monitor goroutine concurrently
+// snapshots every shared surface — session counters, the global gauge, the
+// pool's partial census, trace metrics — and each client snapshots its
+// stats.Run while other queries still execute. Its value is under
+// `go test -race` (CI runs the whole suite that way); without the detector
+// it still asserts the per-query and global zero-leak invariants.
+func TestConcurrentQueriesRace(t *testing.T) {
+	fact, dim := serveFixture()
+	tr := trace.New(1 << 12)
+	s := Open(Config{Workers: 4, MaxConcurrent: 4, Trace: tr})
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var mon sync.WaitGroup
+	mon.Add(1)
+	go func() {
+		defer mon.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Live()
+			_ = s.PendingPartials()
+			_ = s.Counters()
+			s.Occupancy()
+			_ = tr.Snapshot()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const clients, perClient = 8, 3
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				r, err := s.Submit(Request{
+					Build:    func() *engine.Builder { return joinAggPlan(fact, dim) },
+					Priority: c % 2,
+				})
+				if err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+				// Snapshot the run while other queries are still in flight.
+				_ = r.Run.PerOp()
+				_ = r.Run.Robust()
+				_ = r.Run.Checkouts()
+				_ = r.Run.WallTime()
+				if live := r.Run.Intermediates.Live(); live != 0 {
+					t.Errorf("client %d query %d: per-query gauge %d, want 0", c, i, live)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	mon.Wait()
+
+	if s.Live() != 0 {
+		t.Errorf("global gauge %d after drain, want 0", s.Live())
+	}
+	if p := s.PendingPartials(); p != 0 {
+		t.Errorf("%d partial blocks leaked", p)
+	}
+	c := s.Counters()
+	if c.Completed != clients*perClient {
+		t.Errorf("completed = %d, want %d", c.Completed, clients*perClient)
+	}
+}

@@ -1,0 +1,319 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/uotctl"
+)
+
+// Config sizes a serving session. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the shared worker-pool size (default 4). Every admitted
+	// query's work orders run on these goroutines.
+	Workers int
+	// PerQueryWorkers caps one query's in-flight work orders (default 1).
+	// At 1 each query's schedule is exactly its single-query Workers=1
+	// schedule, so results are bit-identical to sequential runs — the
+	// serving experiments' golden check depends on it.
+	PerQueryWorkers int
+	// MaxConcurrent caps admitted queries (default = Workers).
+	MaxConcurrent int
+	// QueueDepth bounds the admission wait queue (default 2·MaxConcurrent);
+	// arrivals beyond it are shed with a typed QueueFull rejection.
+	QueueDepth int
+	// MemoryBudget is the global temporary-block budget in bytes arbitrated
+	// across queries (default 256 MB). Admission reserves each query's
+	// estimate against it; the reservation also becomes the query's soft
+	// per-run budget, so the PR3 pressure machinery (producer holds, UoT
+	// raises) operates per query within its slice.
+	MemoryBudget int64
+	// BlockBytes is the temporary-block size (default 128 KB).
+	BlockBytes int
+	// TempFormat is the temp-block layout (default row store).
+	TempFormat storage.Format
+	// UoTBlocks is the default unit of transfer (default 1).
+	UoTBlocks int
+	// Trace, if non-nil, records every query into its own concurrent trace
+	// section, span-labelled with the query id.
+	Trace *trace.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PerQueryWorkers <= 0 {
+		c.PerQueryWorkers = 1
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = c.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 256 << 20
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 128 << 10
+	}
+	if c.UoTBlocks <= 0 {
+		c.UoTBlocks = 1
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// Build constructs the plan. Called once, before admission, so the
+	// controller can estimate the query's memory from its shape.
+	Build func() *engine.Builder
+	// Label names the query in stats and traces.
+	Label string
+	// Priority is the admission and dispatch priority class (higher first).
+	Priority int
+	// Context, if non-nil, cancels the query — while queued (the waiter
+	// abandons its slot) or while running (the PR3 run-cancel path).
+	Context context.Context
+	// Deadline, if positive, bounds queue wait + execution together.
+	Deadline time.Duration
+	// EstBytes overrides the admission memory estimate (0 = estimate from
+	// the plan via costmodel.QueryMemory).
+	EstBytes int64
+	// MemoryBudget overrides the per-query soft budget (0 = the admission
+	// reservation).
+	MemoryBudget int64
+	// Workers overrides the per-query in-flight cap (0 = config default).
+	// Values above 1 trade the bit-identical-schedule guarantee for
+	// intra-query parallelism.
+	Workers int
+	// UoTBlocks overrides the default unit of transfer (0 = config default).
+	UoTBlocks int
+	// Faults, MaxAttempts, RetryBackoff, WorkOrderDeadline and AdaptiveUoT
+	// pass through to the engine (see engine.Options).
+	Faults            *faults.Injector
+	MaxAttempts       int
+	RetryBackoff      time.Duration
+	WorkOrderDeadline time.Duration
+	AdaptiveUoT       bool
+	AdaptiveConfig    uotctl.Config
+}
+
+// Response is a completed query.
+type Response struct {
+	Table *storage.Table
+	Run   *stats.Run
+	// Query is the session-assigned query id (matches trace sections and
+	// stats labels).
+	Query int
+	// Queued is the time spent waiting for admission; Elapsed the total
+	// Submit latency including it.
+	Queued  time.Duration
+	Elapsed time.Duration
+}
+
+// Counters is a snapshot of the session's serving statistics.
+type Counters struct {
+	Submitted int64 // Submit calls
+	Admitted  int64 // granted a slot (immediately or after queuing)
+	Completed int64 // finished with a result
+	Failed    int64 // ran but errored (faults, invariants)
+
+	RejectedQueueFull  int64 // shed: wait queue at capacity
+	RejectedOverBudget int64 // shed: estimate exceeds the global budget
+	RejectedDeadline   int64 // shed: deadline blown before admission
+	Cancelled          int64 // cancelled (queued or running)
+	DeadlineExceeded   int64 // deadline hit while running
+}
+
+// Session serves concurrent queries over one worker pool, one shared
+// temporary-block pool, and one admission-controlled memory budget.
+type Session struct {
+	cfg    Config
+	pool   *WorkerPool
+	gauge  stats.MemGauge // global live temp bytes across all queries
+	blocks *storage.Pool  // shared root pool; queries run on Subpool views
+	adm    admission
+	nextID int64
+	closed int32
+
+	cSubmitted, cAdmitted, cCompleted, cFailed             int64
+	cRejQueue, cRejBudget, cRejDeadline, cCancel, cRunDead int64
+}
+
+// Open starts a serving session.
+func Open(cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{cfg: cfg}
+	s.pool = NewWorkerPool(cfg.Workers)
+	s.blocks = storage.NewPool(&s.gauge, nil)
+	s.adm.init(cfg.MemoryBudget, cfg.MaxConcurrent, cfg.QueueDepth)
+	return s
+}
+
+// Submit runs one query to completion: estimate → admission (possibly
+// queued, possibly shed with a typed error) → execution on the shared pool →
+// release and grant to waiters. Safe for any number of concurrent callers.
+func (s *Session) Submit(req Request) (*Response, error) {
+	atomic.AddInt64(&s.cSubmitted, 1)
+	if atomic.LoadInt32(&s.closed) != 0 {
+		return nil, ErrSessionClosed
+	}
+	if req.Build == nil {
+		return nil, fmt.Errorf("session: request has no Build")
+	}
+	b := req.Build()
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.PerQueryWorkers
+	}
+	uot := req.UoTBlocks
+	if uot <= 0 {
+		uot = s.cfg.UoTBlocks
+	}
+	est := req.EstBytes
+	if est <= 0 {
+		est = EstimateBuilder(b, workers, uot, int64(s.cfg.BlockBytes))
+	}
+
+	ctx := req.Context
+	if req.Deadline > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	if err := s.adm.admit(ctx, req.Priority, est); err != nil {
+		s.countAdmitErr(err)
+		return nil, err
+	}
+	queued := time.Since(start)
+	atomic.AddInt64(&s.cAdmitted, 1)
+	defer s.adm.release(est)
+
+	perBudget := req.MemoryBudget
+	if perBudget <= 0 {
+		perBudget = est
+	}
+	id := int(atomic.AddInt64(&s.nextID, 1))
+	label := req.Label
+	if label == "" {
+		label = fmt.Sprintf("q%d", id)
+	}
+	res, err := engine.Execute(b, engine.Options{
+		Workers:           workers,
+		UoTBlocks:         uot,
+		TempBlockBytes:    s.cfg.BlockBytes,
+		TempFormat:        s.cfg.TempFormat,
+		MemoryBudget:      perBudget,
+		Context:           ctx,
+		Faults:            req.Faults,
+		MaxAttempts:       req.MaxAttempts,
+		RetryBackoff:      req.RetryBackoff,
+		WorkOrderDeadline: req.WorkOrderDeadline,
+		AdaptiveUoT:       req.AdaptiveUoT,
+		AdaptiveConfig:    req.AdaptiveConfig,
+		Trace:             s.cfg.Trace,
+		TraceLabel:        label,
+		Exec:              s.pool,
+		SharedPool:        s.blocks,
+		QueryID:           id,
+		Priority:          req.Priority,
+	})
+	if err != nil {
+		s.countRunErr(err)
+		return nil, err
+	}
+	atomic.AddInt64(&s.cCompleted, 1)
+	return &Response{
+		Table:   res.Table,
+		Run:     res.Run,
+		Query:   id,
+		Queued:  queued,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+func (s *Session) countAdmitErr(err error) {
+	var ae *AdmissionError
+	switch {
+	case errors.As(err, &ae):
+		switch ae.Reason {
+		case QueueFull:
+			atomic.AddInt64(&s.cRejQueue, 1)
+		case OverBudget:
+			atomic.AddInt64(&s.cRejBudget, 1)
+		case DeadlineBlown:
+			atomic.AddInt64(&s.cRejDeadline, 1)
+		}
+	case errors.Is(err, core.ErrQueryCancelled):
+		atomic.AddInt64(&s.cCancel, 1)
+	}
+}
+
+func (s *Session) countRunErr(err error) {
+	switch {
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		atomic.AddInt64(&s.cRunDead, 1)
+	case errors.Is(err, core.ErrQueryCancelled):
+		atomic.AddInt64(&s.cCancel, 1)
+	default:
+		atomic.AddInt64(&s.cFailed, 1)
+	}
+}
+
+// Counters snapshots the serving statistics.
+func (s *Session) Counters() Counters {
+	return Counters{
+		Submitted:          atomic.LoadInt64(&s.cSubmitted),
+		Admitted:           atomic.LoadInt64(&s.cAdmitted),
+		Completed:          atomic.LoadInt64(&s.cCompleted),
+		Failed:             atomic.LoadInt64(&s.cFailed),
+		RejectedQueueFull:  atomic.LoadInt64(&s.cRejQueue),
+		RejectedOverBudget: atomic.LoadInt64(&s.cRejBudget),
+		RejectedDeadline:   atomic.LoadInt64(&s.cRejDeadline),
+		Cancelled:          atomic.LoadInt64(&s.cCancel),
+		DeadlineExceeded:   atomic.LoadInt64(&s.cRunDead),
+	}
+}
+
+// Live returns the live temporary-block bytes across all queries (the global
+// gauge the admission budget arbitrates). Zero when the session is idle —
+// the cross-query zero-leak invariant.
+func (s *Session) Live() int64 { return s.gauge.Live() }
+
+// PendingPartials exposes the shared pool's checked-in partial blocks (zero
+// when idle).
+func (s *Session) PendingPartials() int { return s.blocks.PendingPartials() }
+
+// Occupancy reports the admission controller's current state: admitted
+// queries in flight, waiters queued, and reserved budget bytes.
+func (s *Session) Occupancy() (inflight, waiting int, reserved int64) {
+	return s.adm.snapshot()
+}
+
+// Close rejects queued waiters, waits for running queries to finish, and
+// stops the worker pool. Submit calls after Close fail with
+// ErrSessionClosed.
+func (s *Session) Close() {
+	if !atomic.CompareAndSwapInt32(&s.closed, 0, 1) {
+		return
+	}
+	s.adm.closeAndDrain()
+	s.pool.Close()
+}

@@ -169,6 +169,35 @@ type Run struct {
 
 	robust   Robustness
 	edgeUoTs []EdgeUoT
+
+	// query/label identify the run among concurrent runs (serving layer);
+	// query is -1 until SetQuery is called.
+	query int
+	label string
+}
+
+// SetQuery labels the run with its query id and display label, so snapshots
+// of concurrent runs are attributable (the serving layer sets it at
+// admission).
+func (r *Run) SetQuery(id int, label string) {
+	r.mu.Lock()
+	r.query = id
+	r.label = label
+	r.mu.Unlock()
+}
+
+// Query returns the run's query id (-1 if never set).
+func (r *Run) Query() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.query
+}
+
+// Label returns the run's display label ("" if never set).
+func (r *Run) Label() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.label
 }
 
 // EdgeUoT is the per-pipelined-edge UoT story of one run, recorded by the
@@ -310,7 +339,7 @@ func (r *Run) SetLeaks(blocks, refs int64) {
 }
 
 // NewRun returns an empty Run with the start time set to now.
-func NewRun() *Run { return &Run{start: time.Now()} }
+func NewRun() *Run { return &Run{start: time.Now(), query: -1} }
 
 // Record appends a completed work order (attempt).
 func (r *Run) Record(w WorkOrder) {

@@ -13,17 +13,27 @@ import (
 // output locality and avoids fragmentation; the single mutex is intentional —
 // contention on the storage manager at small block sizes is one of the real
 // effects the paper discusses (Section VII-B5).
+//
+// Concurrent queries share one pool through Subpool views: each query gets
+// its own partial-block namespace (owner tags are plan-local operator
+// indices, which would collide across queries) and its own live-bytes gauge,
+// while empty recycled blocks and the global gauge stay shared at the root —
+// so block allocations amortize across the whole workload but accounting and
+// the per-query zero-leak invariant stay exact per query.
 type Pool struct {
 	mu sync.Mutex
 	// partial holds partially-filled blocks keyed by owner tag (one slot
 	// per operator instance), so a block is only ever resumed by the
-	// operator that started filling it.
+	// operator that started filling it. Each Subpool has its own map.
 	partial map[int][]*Block
-	// free holds empty recycled blocks keyed by allocation size.
+	// free holds empty recycled blocks keyed by allocation size. Only the
+	// root pool has one; subpools recycle through their root.
 	free map[int][]*Block
+	// parent is the root pool for a Subpool view, nil for a root.
+	parent *Pool
 
-	gauge     *stats.MemGauge // intermediate-bytes gauge, may be nil
-	checkouts func()          // per-checkout hook, may be nil
+	gauge     *stats.MemGauge // live-bytes gauge of this view, may be nil
+	checkouts func()          // per-checkout hook of this view, may be nil
 	noRecycle bool
 }
 
@@ -31,9 +41,10 @@ type Pool struct {
 // them on the freelist. The MonetDB-style baseline uses it to model full
 // materialization with fresh allocations per intermediate.
 func (p *Pool) DisableRecycling() {
-	p.mu.Lock()
-	p.noRecycle = true
-	p.mu.Unlock()
+	r := p.root()
+	r.mu.Lock()
+	r.noRecycle = true
+	r.mu.Unlock()
 }
 
 // NewPool returns an empty pool. gauge (optional) receives allocation sizes
@@ -48,40 +59,89 @@ func NewPool(gauge *stats.MemGauge, onCheckout func()) *Pool {
 	}
 }
 
+// Subpool returns a per-query view of the pool: an isolated partial-block
+// namespace with its own gauge and checkout hook, sharing the root's
+// freelist (and the root's gauge, which keeps counting every view's live
+// bytes — the global memory picture the admission controller arbitrates).
+// Subpools of a subpool attach to the same root.
+func (p *Pool) Subpool(gauge *stats.MemGauge, onCheckout func()) *Pool {
+	return &Pool{
+		partial:   make(map[int][]*Block),
+		parent:    p.root(),
+		gauge:     gauge,
+		checkouts: onCheckout,
+	}
+}
+
+// root returns the pool owning the shared freelist (p itself for a root).
+func (p *Pool) root() *Pool {
+	if p.parent != nil {
+		return p.parent
+	}
+	return p
+}
+
+// addLive credits n live bytes to this view's gauge and, for a subpool, the
+// root's global gauge too. Gauges are atomic, so no lock is held here.
+func (p *Pool) addLive(n int64) {
+	if p.gauge != nil {
+		p.gauge.Add(n)
+	}
+	if p.parent != nil && p.parent.gauge != nil {
+		p.parent.gauge.Add(n)
+	}
+}
+
+// subLive is the release-side counterpart of addLive.
+func (p *Pool) subLive(n int64) {
+	if p.gauge != nil {
+		p.gauge.Sub(n)
+	}
+	if p.parent != nil && p.parent.gauge != nil {
+		p.parent.gauge.Sub(n)
+	}
+}
+
 // CheckOut returns a block for owner (an operator instance tag) with the
 // given schema, format, and byte budget: a previously checked-in partial
-// block of that owner if one exists, else a recycled empty block, else a new
-// allocation.
+// block of that owner if one exists, else a recycled empty block from the
+// root freelist, else a new allocation.
 func (p *Pool) CheckOut(owner int, schema *Schema, format Format, blockBytes int) *Block {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.checkouts != nil {
 		p.checkouts()
 	}
 	if ps := p.partial[owner]; len(ps) > 0 {
 		b := ps[len(ps)-1]
 		p.partial[owner] = ps[:len(ps)-1]
+		p.mu.Unlock()
 		return b
 	}
-	if fs := p.free[blockBytes]; len(fs) > 0 {
-		for i := len(fs) - 1; i >= 0; i-- {
-			b := fs[i]
-			if b.Schema() == schema && b.Format() == format {
-				fs[i] = fs[len(fs)-1]
-				p.free[blockBytes] = fs[:len(fs)-1]
-				b.Reset()
-				if p.gauge != nil {
-					p.gauge.Add(int64(b.AllocBytes()))
-				}
-				return b
-			}
+	p.mu.Unlock()
+	b := p.root().takeFree(schema, format, blockBytes)
+	if b == nil {
+		b = NewBlock(schema, format, blockBytes)
+	}
+	p.addLive(int64(b.AllocBytes()))
+	return b
+}
+
+// takeFree pops a schema/format-matching recycled block of the given size
+// from the freelist (nil if none). Called on the root only.
+func (p *Pool) takeFree(schema *Schema, format Format, blockBytes int) *Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fs := p.free[blockBytes]
+	for i := len(fs) - 1; i >= 0; i-- {
+		b := fs[i]
+		if b.Schema() == schema && b.Format() == format {
+			fs[i] = fs[len(fs)-1]
+			p.free[blockBytes] = fs[:len(fs)-1]
+			b.Reset()
+			return b
 		}
 	}
-	b := NewBlock(schema, format, blockBytes)
-	if p.gauge != nil {
-		p.gauge.Add(int64(b.AllocBytes()))
-	}
-	return b
+	return nil
 }
 
 // CheckIn returns a partially-filled block to the pool for later resumption
@@ -105,9 +165,10 @@ func (p *Pool) TakePartials(owner int) []*Block {
 }
 
 // PendingPartials returns the number of partially-filled blocks currently
-// checked in across all owners. After a run completes (or is cleaned up
-// after a failure) it must be zero; the scheduler's invariant checker uses
-// it to detect leaked partials.
+// checked into this view across all owners. After a run completes (or is
+// cleaned up after a failure) it must be zero; the scheduler's invariant
+// checker uses it to detect leaked partials, per query when running on a
+// Subpool.
 func (p *Pool) PendingPartials() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -118,17 +179,31 @@ func (p *Pool) PendingPartials() int {
 	return n
 }
 
-// Release recycles a block whose contents are no longer needed (its consumer
-// operator finished). The allocation is kept for reuse but no longer counts
-// as live intermediate memory.
-func (p *Pool) Release(b *Block) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.gauge != nil {
-		p.gauge.Sub(int64(b.AllocBytes()))
+// Live returns the live temporary-block bytes of this view (0 without a
+// gauge): per-query for a Subpool, global for the root.
+func (p *Pool) Live() int64 {
+	if p.gauge == nil {
+		return 0
 	}
+	return p.gauge.Live()
+}
+
+// Disown removes n bytes from this view's live accounting (and the root's,
+// for a Subpool) without recycling anything: ownership of the blocks moved
+// outside the pool — e.g. a completed query's result table handed to the
+// client. The blocks themselves stay valid and are never reused.
+func (p *Pool) Disown(n int64) { p.subLive(n) }
+
+// Release recycles a block whose contents are no longer needed (its consumer
+// operator finished). The allocation is kept for reuse on the root freelist
+// but no longer counts as live intermediate memory.
+func (p *Pool) Release(b *Block) {
+	p.subLive(int64(b.AllocBytes()))
+	r := p.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	sz := b.AllocBytes()
-	if !p.noRecycle && len(p.free[sz]) < 256 { // bound the freelist; beyond that let GC take it
-		p.free[sz] = append(p.free[sz], b)
+	if !r.noRecycle && len(r.free[sz]) < 256 { // bound the freelist; beyond that let GC take it
+		r.free[sz] = append(r.free[sz], b)
 	}
 }

@@ -93,6 +93,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			args := map[string]any{
 				"op": e.Op, "attempt": e.Attempt, "rows_in": e.Rows, "rows_out": e.RowsOut,
 			}
+			if e.Query >= 0 {
+				args["query"] = e.Query
+			}
 			if e.Batch >= 0 {
 				args["uot_batch"] = e.Batch
 			}

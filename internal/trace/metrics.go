@@ -20,7 +20,10 @@ type Metrics struct {
 
 // RunMetrics aggregates one traced section.
 type RunMetrics struct {
-	Run     int    `json:"run"`
+	Run int `json:"run"`
+	// Query is the section's query-id span label (-1 when it has none; set
+	// by Tracer.OpenRun for concurrent serving sections).
+	Query   int    `json:"query,omitempty"`
 	Label   string `json:"label,omitempty"`
 	Workers int    `json:"workers,omitempty"`
 	// WallNS is the section's duration (0 if EndRun was not called).
@@ -81,7 +84,7 @@ func (t *Tracer) Snapshot() Metrics {
 	defer t.mu.Unlock()
 	m := Metrics{CapturedEvents: t.n, DroppedEvents: t.dropped}
 	for _, r := range t.runs {
-		rm := RunMetrics{Run: int(r.pid), Label: r.label, Workers: r.workers, Failed: r.failed}
+		rm := RunMetrics{Run: int(r.pid), Query: int(r.query), Label: r.label, Workers: r.workers, Failed: r.failed}
 		if r.endNS > r.beginNS {
 			rm.WallNS = r.endNS - r.beginNS
 		}

@@ -91,6 +91,7 @@ type Event struct {
 	Flags uint8
 
 	Run     int32 // run (section) id, assigned by the tracer on record
+	Query   int32 // query id of the section (-1 when unlabeled), assigned on record
 	Op      int32 // operator id within the run
 	Edge    int32 // edge id within the run (KindEdge; -1 on spans)
 	Worker  int32 // executing worker (KindSpan)
@@ -166,6 +167,7 @@ type edgeAgg struct {
 // and edges, and their aggregates.
 type runMeta struct {
 	pid     int32
+	query   int32 // query id span label (-1 when the section has none)
 	label   string
 	ops     []string
 	opAggs  []opAgg
@@ -222,8 +224,9 @@ func (t *Tracer) Since(at time.Time) int64 {
 	return int64(at.Sub(t.base))
 }
 
-// StartRun begins a new trace section (one engine execution). Events
-// recorded after it carry the new section's run id; exports group by
+// StartRun begins a new trace section (one engine execution) and makes it
+// the tracer's *current* section: events recorded through the sectionless
+// methods (Span, Edge, Mark, ...) carry its run id; exports group by
 // section, so one tracer can hold several executions side by side (the
 // FIG2 sweep records one section per UoT value).
 func (t *Tracer) StartRun(label string) {
@@ -235,89 +238,140 @@ func (t *Tracer) StartRun(label string) {
 	t.mu.Unlock()
 }
 
-func (t *Tracer) startRunLocked(label string) {
-	r := &runMeta{pid: int32(len(t.runs)), label: label, beginNS: int64(time.Since(t.base))}
+func (t *Tracer) startRunLocked(label string) *runMeta {
+	r := &runMeta{pid: int32(len(t.runs)), query: -1, label: label, beginNS: int64(time.Since(t.base))}
 	t.runs = append(t.runs, r)
 	t.cur = r
+	return r
+}
+
+// OpenRun begins a new trace section without making it current, returning a
+// section handle for the *In recording variants. Concurrent executions (the
+// serving layer) each open their own section and record into it explicitly,
+// so interleaved queries never corrupt each other's aggregates — the
+// single-current-section methods remain for sequential use. query is the
+// section's query-id span label (use -1 for none); every event recorded into
+// the section carries it in Event.Query. Handle 0 is reserved for "the
+// current section", so the sectionless methods are exactly the *In methods
+// with handle 0.
+func (t *Tracer) OpenRun(label string, query int) int32 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.cur
+	r := t.startRunLocked(label)
+	r.query = int32(query)
+	t.cur = cur // OpenRun does not steal the current section
+	return r.pid + 1
+}
+
+// section resolves a handle under t.mu: 0 is the current section (possibly
+// nil), a positive handle an OpenRun section.
+func (t *Tracer) section(h int32) *runMeta {
+	if h > 0 && int(h) <= len(t.runs) {
+		return t.runs[h-1]
+	}
+	return t.cur
+}
+
+// sectionOrOpen is section, auto-opening an unlabeled current section for
+// registration calls that may arrive before any StartRun.
+func (t *Tracer) sectionOrOpen(h int32) *runMeta {
+	if r := t.section(h); r != nil {
+		return r
+	}
+	return t.startRunLocked("")
 }
 
 // EndRun stamps the current section finished; failed marks an errored run.
-func (t *Tracer) EndRun(failed bool) {
+func (t *Tracer) EndRun(failed bool) { t.EndRunIn(0, failed) }
+
+// EndRunIn stamps section h finished.
+func (t *Tracer) EndRunIn(h int32, failed bool) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.cur != nil {
-		t.cur.endNS = int64(time.Since(t.base))
-		t.cur.failed = failed
+	if r := t.section(h); r != nil {
+		r.endNS = int64(time.Since(t.base))
+		r.failed = failed
 	}
 	t.mu.Unlock()
 	e := Event{StartNS: t.Now()}
 	if failed {
 		e.Flags = FlagFailed
 	}
-	t.Mark(MarkRunEnd, e)
+	t.MarkIn(h, MarkRunEnd, e)
 }
 
-// SetWorkers records the section's worker count (thread naming in exports).
-func (t *Tracer) SetWorkers(n int) {
+// SetWorkers records the current section's worker count (thread naming in
+// exports).
+func (t *Tracer) SetWorkers(n int) { t.SetWorkersIn(0, n) }
+
+// SetWorkersIn records section h's worker count.
+func (t *Tracer) SetWorkersIn(h int32, n int) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.cur == nil {
-		t.startRunLocked("")
-	}
-	t.cur.workers = n
+	t.sectionOrOpen(h).workers = n
 	t.mu.Unlock()
 }
 
 // RegisterOp names operator id within the current section (auto-opened if
 // StartRun was not called).
-func (t *Tracer) RegisterOp(id int, name string) {
+func (t *Tracer) RegisterOp(id int, name string) { t.RegisterOpIn(0, id, name) }
+
+// RegisterOpIn names operator id within section h.
+func (t *Tracer) RegisterOpIn(h int32, id int, name string) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.cur == nil {
-		t.startRunLocked("")
+	r := t.sectionOrOpen(h)
+	for len(r.ops) <= id {
+		r.ops = append(r.ops, "")
+		r.opAggs = append(r.opAggs, opAgg{})
 	}
-	for len(t.cur.ops) <= id {
-		t.cur.ops = append(t.cur.ops, "")
-		t.cur.opAggs = append(t.cur.opAggs, opAgg{})
-	}
-	t.cur.ops[id] = name
+	r.ops[id] = name
 	t.mu.Unlock()
 }
 
 // RegisterEdge describes edge id within the current section.
-func (t *Tracer) RegisterEdge(id int, info EdgeInfo) {
+func (t *Tracer) RegisterEdge(id int, info EdgeInfo) { t.RegisterEdgeIn(0, id, info) }
+
+// RegisterEdgeIn describes edge id within section h.
+func (t *Tracer) RegisterEdgeIn(h int32, id int, info EdgeInfo) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.cur == nil {
-		t.startRunLocked("")
+	r := t.sectionOrOpen(h)
+	for len(r.edges) <= id {
+		r.edges = append(r.edges, EdgeInfo{})
+		r.edgeAgg = append(r.edgeAgg, edgeAgg{})
 	}
-	for len(t.cur.edges) <= id {
-		t.cur.edges = append(t.cur.edges, EdgeInfo{})
-		t.cur.edgeAgg = append(t.cur.edgeAgg, edgeAgg{})
-	}
-	t.cur.edges[id] = info
-	t.cur.edgeAgg[id].lastUoT = int64(info.UoT)
+	r.edges[id] = info
+	r.edgeAgg[id].lastUoT = int64(info.UoT)
 	t.mu.Unlock()
 }
 
-// Span records one completed work-order attempt. Kind, Run, and Edge are
-// set by the tracer.
-func (t *Tracer) Span(e Event) {
+// Span records one completed work-order attempt into the current section.
+// Kind, Run, Query, and Edge are set by the tracer.
+func (t *Tracer) Span(e Event) { t.SpanIn(0, e) }
+
+// SpanIn records one completed work-order attempt into section h.
+func (t *Tracer) SpanIn(h int32, e Event) {
 	if t == nil {
 		return
 	}
 	e.Kind = KindSpan
 	e.Edge = -1
 	t.mu.Lock()
-	if r := t.cur; r != nil && int(e.Op) < len(r.opAggs) {
+	r := t.section(h)
+	if r != nil && int(e.Op) < len(r.opAggs) {
 		a := &r.opAggs[e.Op]
 		a.spans++
 		a.busyNS += e.EndNS - e.StartNS
@@ -343,20 +397,24 @@ func (t *Tracer) Span(e Event) {
 			a.partitionSkew += e.PartitionSkew
 		}
 	}
-	t.recordLocked(e)
+	t.recordLocked(r, e)
 	t.mu.Unlock()
 }
 
-// Edge records a per-edge gauge sample; delivered is how many blocks this
-// transition handed to the consumer (0 for a pure buffering sample, in
-// which case no batch is counted).
-func (t *Tracer) Edge(e Event, delivered int) {
+// Edge records a per-edge gauge sample into the current section; delivered
+// is how many blocks this transition handed to the consumer (0 for a pure
+// buffering sample, in which case no batch is counted).
+func (t *Tracer) Edge(e Event, delivered int) { t.EdgeIn(0, e, delivered) }
+
+// EdgeIn records a per-edge gauge sample into section h.
+func (t *Tracer) EdgeIn(h int32, e Event, delivered int) {
 	if t == nil {
 		return
 	}
 	e.Kind = KindEdge
 	t.mu.Lock()
-	if r := t.cur; r != nil && int(e.Edge) < len(r.edgeAgg) {
+	r := t.section(h)
+	if r != nil && int(e.Edge) < len(r.edgeAgg) {
 		a := &r.edgeAgg[e.Edge]
 		a.samples++
 		if delivered > 0 {
@@ -369,25 +427,29 @@ func (t *Tracer) Edge(e Event, delivered int) {
 		a.stallNS += e.StallNS
 		a.lastUoT = e.UoT
 	}
-	t.recordLocked(e)
+	t.recordLocked(r, e)
 	t.mu.Unlock()
 }
 
-// Mark records an instant annotation.
-func (t *Tracer) Mark(code MarkCode, e Event) {
+// Mark records an instant annotation into the current section.
+func (t *Tracer) Mark(code MarkCode, e Event) { t.MarkIn(0, code, e) }
+
+// MarkIn records an instant annotation into section h.
+func (t *Tracer) MarkIn(h int32, code MarkCode, e Event) {
 	if t == nil {
 		return
 	}
 	e.Kind = KindMark
 	e.Mark = code
 	t.mu.Lock()
-	t.recordLocked(e)
+	t.recordLocked(t.section(h), e)
 	t.mu.Unlock()
 }
 
-func (t *Tracer) recordLocked(e Event) {
-	if t.cur != nil {
-		e.Run = t.cur.pid
+func (t *Tracer) recordLocked(r *runMeta, e Event) {
+	if r != nil {
+		e.Run = r.pid
+		e.Query = r.query
 	}
 	t.buf[t.next] = e
 	t.next++

@@ -35,6 +35,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/memmodel"
 	"repro/internal/monet"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tpch"
@@ -296,4 +297,54 @@ var (
 	NotLike  = expr.NotLike
 	In       = expr.In
 	Param    = expr.Param
+)
+
+// Concurrent multi-query serving (see internal/session): a Session shares
+// one worker pool and one temporary-block pool across N concurrent queries,
+// gated by an admission controller that arbitrates a global memory budget —
+// queries beyond capacity wait in a bounded priority queue or are shed with
+// typed errors:
+//
+//	s := uot.OpenSession(uot.SessionConfig{Workers: 8, MemoryBudget: 1 << 30})
+//	defer s.Close()
+//	resp, err := s.Submit(uot.Request{Build: func() *uot.Builder { ... }})
+//	if errors.Is(err, uot.ErrAdmissionRejected) { /* shed: back off */ }
+type (
+	// Session serves concurrent queries with admission control and
+	// per-query isolation.
+	Session = session.Session
+	// SessionConfig sizes a session: worker pool, concurrency cap, queue
+	// depth, global memory budget.
+	SessionConfig = session.Config
+	// Request is one query submission (plan constructor, priority,
+	// deadline, optional context and fault injector).
+	Request = session.Request
+	// Response is a completed query: result table, run statistics, queue
+	// wait and total latency.
+	Response = session.Response
+	// ServeCounters snapshots a session's admission/shed/completion
+	// statistics.
+	ServeCounters = session.Counters
+)
+
+// OpenSession starts a serving session.
+func OpenSession(cfg SessionConfig) *Session { return session.Open(cfg) }
+
+// Typed serving and robustness errors, matched with errors.Is.
+var (
+	// ErrAdmissionRejected: the session shed the query without running it
+	// (queue full, deadline already blown, or estimate over the global
+	// budget).
+	ErrAdmissionRejected = session.ErrAdmissionRejected
+	// ErrSessionClosed: Submit against a closed session.
+	ErrSessionClosed = session.ErrSessionClosed
+	// ErrQueryCancelled: the query's context was cancelled (queued or
+	// running); the error chain also matches context.Canceled.
+	ErrQueryCancelled = core.ErrQueryCancelled
+	// ErrDeadlineExceeded: a deadline expired — before admission (also
+	// matches ErrAdmissionRejected) or mid-run.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrMemoryBudget: a memory-budget rejection (also matches
+	// ErrAdmissionRejected).
+	ErrMemoryBudget = core.ErrMemoryBudget
 )
