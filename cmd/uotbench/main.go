@@ -5,6 +5,7 @@
 //	uotbench [-sf 0.05] [-workers 20] [-runs 5] [-best 3] [-l3 8388608] [-adaptive] [IDs...]
 //	uotbench -micro [-json BENCH_PR1.json]
 //	uotbench -serve [-json BENCH_PR8.json]
+//	uotbench -spill [-json BENCH_PR9.json]
 //
 // With no IDs, every experiment runs in paper order. IDs are the experiment
 // identifiers from DESIGN.md (FIG2, FIG3, EQ1, SEC5C, TAB2, TAB3, TAB4,
@@ -34,6 +35,13 @@
 // submitting the TPC-H mix through a shared session, reporting throughput
 // and latency percentiles (golden-checked against single-query results);
 // with -json it writes the machine-readable artifact (BENCH_PR8.json).
+//
+// -spill runs the spill-threshold sweep instead: each mix query at an
+// all-RAM baseline and then with resident temp bytes capped at ½, ¼, and ⅛
+// of its unconstrained peak, reporting wall time and extent I/O at each
+// point (every spilled result golden-checked bit-exactly); with -json it
+// writes the machine-readable artifact (BENCH_PR9.json). The SPILL
+// experiment ID runs the pass/fail variant instead.
 //
 // -trace out.json attaches an execution tracer to the experiments that
 // support it (FIG2, FIG3) and writes the collected timeline as a Chrome
@@ -67,7 +75,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
 	serve := flag.Bool("serve", false, "run the closed-loop serving sweep (1/4/16 clients) instead of the experiments")
-	jsonPath := flag.String("json", "", "with -micro or -serve: write the machine-readable results to this file")
+	spill := flag.Bool("spill", false, "run the spill-threshold sweep (RAM at 1, 1/2, 1/4, 1/8 of peak) instead of the experiments")
+	jsonPath := flag.String("json", "", "with -micro, -serve, or -spill: write the machine-readable results to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the traced experiments (FIG2, FIG3) to this file")
 	metricsPath := flag.String("metrics", "", "write the tracer's aggregate metrics snapshot as JSON to this file")
 	promPath := flag.String("prom", "", "write the tracer's aggregate metrics snapshot as Prometheus text to this file")
@@ -82,6 +91,23 @@ func main() {
 
 	if *serve {
 		rep, err := bench.RunServe(bench.Config{SF: *sf, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return
+	}
+
+	if *spill {
+		rep, err := bench.RunSpill(bench.Config{SF: *sf, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

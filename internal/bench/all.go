@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"ADAPT", "adaptive per-edge UoT controller vs static settings", (*Harness).AdaptiveProfile},
 		{"SERVE", "concurrent serving: admission control, shedding, isolation", (*Harness).Serve},
 		{"CCHAOS", "concurrent serving under seeded fault injection", (*Harness).ConcurrentChaos},
+		{"SPILL", "disk-backed spill tier: goldens at 25% RAM, zero leaks", (*Harness).Spill},
 	}
 }
 

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// spillUoT is the unit of transfer for the spill runs: deep enough edge
+// backlogs that a threshold at a quarter of the unconstrained peak forces
+// real eviction traffic on every mix query.
+const spillUoT = 8
+
+// spillTempDir creates a parent directory for per-run spill subdirectories
+// and returns it with a cleanup check: after the runs the parent must be
+// empty (the engine removes each per-run subdirectory, extent files and all).
+func spillTempDir() (string, func() error, error) {
+	dir, err := os.MkdirTemp("", "uotbench-spill-")
+	if err != nil {
+		return "", nil, err
+	}
+	check := func() error {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		if len(entries) != 0 {
+			return fmt.Errorf("%d spill entries leaked in %s", len(entries), dir)
+		}
+		return os.RemoveAll(dir)
+	}
+	return dir, check, nil
+}
+
+// spillBaseline runs one mix query unconstrained (no spill tier) and returns
+// its golden checksum and the peak live temp bytes the spilled runs are
+// throttled against.
+func (h *Harness) spillBaseline(d *tpch.Dataset, q int) (sum string, peak int64, err error) {
+	res, err := h.run(d, q, engine.Options{
+		Workers: 1, UoTBlocks: spillUoT, TempBlockBytes: 128 << 10, MemoryBudget: serveBudget,
+	}, tpch.QueryOpts{})
+	if err != nil {
+		return "", 0, fmt.Errorf("unconstrained Q%d: %w", q, err)
+	}
+	return serveChecksum(res.Table), res.Run.Intermediates.High(), nil
+}
+
+// Spill is the SPILL experiment: the TPC-H mix re-run with a disk-backed
+// spill tier whose threshold caps resident temp bytes at a quarter of each
+// query's unconstrained peak. Phase one runs each query single-query and
+// requires a bit-identical result, real two-way disk traffic, a bounded
+// extent high-water mark, and zero leaks — neither blocks nor spill files.
+// Phase two serves the mix concurrently through a session sharing one spill
+// tier and requires the same goldens plus a fully drained tier after Close.
+func (h *Harness) Spill() (*Report, error) {
+	r := &Report{
+		ID:    "SPILL",
+		Title: "Disk-backed spill tier: RAM capped at 25% of unconstrained peak",
+		Header: []string{
+			"query", "peak_mib", "thresh_mib", "out_blk", "in_blk", "disk_peak_mib", "stall_ms", "result", "leaks",
+		},
+	}
+	d := h.Dataset(128<<10, storage.ColumnStore)
+
+	parent, checkClean, err := spillTempDir()
+	if err != nil {
+		return nil, fmt.Errorf("SPILL: %w", err)
+	}
+
+	var maxPeak, totalOut int64
+	for _, q := range serveQueries {
+		golden, peak, err := h.spillBaseline(d, q)
+		if err != nil {
+			return nil, fmt.Errorf("SPILL: %w", err)
+		}
+		if peak > maxPeak {
+			maxPeak = peak
+		}
+		threshold := peak / 4
+		res, err := h.run(d, q, engine.Options{
+			Workers: 1, UoTBlocks: spillUoT, TempBlockBytes: 128 << 10, MemoryBudget: serveBudget,
+			SpillDir: parent, SpillThreshold: threshold,
+		}, tpch.QueryOpts{})
+		if err != nil {
+			return nil, fmt.Errorf("SPILL: throttled Q%d: %w", q, err)
+		}
+		sp := res.Run.Spill()
+		rb := res.Run.Robust()
+		resultOK := serveChecksum(res.Table) == golden
+		leaks := rb.LeakedBlocks + rb.OutstandingRefs + sp.DiskLive
+		r.AddRow(
+			fmt.Sprintf("Q%d", q),
+			mib(peak),
+			mib(threshold),
+			fmt.Sprintf("%d", sp.BlocksOut),
+			fmt.Sprintf("%d", sp.BlocksIn),
+			mib(sp.DiskPeak),
+			fmt.Sprintf("%.2f", float64(sp.FaultStallNS)/1e6),
+			pass(resultOK),
+			fmt.Sprintf("%d", leaks),
+		)
+		if !resultOK {
+			return nil, fmt.Errorf("SPILL: Q%d spilled result differs from unconstrained golden", q)
+		}
+		if sp.BlocksOut == 0 || sp.BlocksIn == 0 {
+			return nil, fmt.Errorf("SPILL: Q%d saw no two-way spill traffic at threshold %d (out=%d in=%d)",
+				q, threshold, sp.BlocksOut, sp.BlocksIn)
+		}
+		if sp.DiskPeak > 4*peak {
+			return nil, fmt.Errorf("SPILL: Q%d extent high-water %d unbounded vs %d peak", q, sp.DiskPeak, peak)
+		}
+		if leaks != 0 {
+			return nil, fmt.Errorf("SPILL: Q%d leaked %d blocks/refs/extent-bytes", q, leaks)
+		}
+		totalOut += sp.BlocksOut
+	}
+	if err := checkClean(); err != nil {
+		return nil, fmt.Errorf("SPILL: %w", err)
+	}
+
+	// Phase two: the mix served concurrently over one shared spill tier.
+	golden, _, err := h.serveGolden(d)
+	if err != nil {
+		return nil, fmt.Errorf("SPILL: %w", err)
+	}
+	parent2, checkClean2, err := spillTempDir()
+	if err != nil {
+		return nil, fmt.Errorf("SPILL: %w", err)
+	}
+	sess := session.Open(session.Config{
+		Workers:        h.cfg.Workers,
+		MaxConcurrent:  4,
+		QueueDepth:     8 * 2,
+		MemoryBudget:   1 << 30,
+		SpillDir:       parent2,
+		SpillThreshold: maxPeak / 4,
+	})
+	out, loopErr := serveLoop(sess, d, golden, 8, 2)
+	live, partials := sess.Live(), sess.PendingPartials()
+	sc := sess.SpillStats()
+	sess.Close()
+	if loopErr != nil {
+		return nil, fmt.Errorf("SPILL: served phase: %w", loopErr)
+	}
+	if out.completed != 8*2 {
+		return nil, fmt.Errorf("SPILL: served phase completed %d of %d", out.completed, 8*2)
+	}
+	if sc.BadEvicts != 0 {
+		return nil, fmt.Errorf("SPILL: served phase: %d evictions raced a live pin", sc.BadEvicts)
+	}
+	if live != 0 || partials != 0 || sc.DiskLive != 0 || sc.Outstanding != 0 {
+		return nil, fmt.Errorf("SPILL: served phase leaked: %d live bytes, %d partials, %d extent bytes, %d tracked blocks",
+			live, partials, sc.DiskLive, sc.Outstanding)
+	}
+	if err := checkClean2(); err != nil {
+		return nil, fmt.Errorf("SPILL: served phase: %w", err)
+	}
+	r.AddRow("served",
+		mib(maxPeak),
+		mib(maxPeak/4),
+		fmt.Sprintf("%d", sc.BlocksOut),
+		fmt.Sprintf("%d", sc.BlocksIn),
+		mib(sc.DiskPeak),
+		fmt.Sprintf("%.2f", float64(sc.FaultStallNS)/1e6),
+		pass(true),
+		"0",
+	)
+
+	r.Note("mix %v at UoT %d blocks; threshold = unconstrained peak / 4, so ≥75%% of each query's temp footprint must live on disk at pressure", serveQueries, spillUoT)
+	r.Note("spilled results are bit-identical (sha256 over hex-float rows) to the unconstrained runs; %d blocks spilled in total; spill directories removed", totalOut)
+	return r, nil
+}
+
+// SpillPoint is one (query, RAM-fraction) measurement in the spill artifact.
+type SpillPoint struct {
+	Query       int     `json:"query"`
+	RAMFraction float64 `json:"ram_fraction"` // threshold / unconstrained peak; 1 = no eviction pressure
+	ThresholdB  int64   `json:"threshold_bytes"`
+	WallMS      float64 `json:"wall_ms"`
+	BlocksOut   int64   `json:"blocks_out"`
+	BlocksIn    int64   `json:"blocks_in"`
+	BytesOut    int64   `json:"bytes_out"`
+	BytesIn     int64   `json:"bytes_in"`
+	DiskPeakB   int64   `json:"disk_peak_bytes"`
+	StallMS     float64 `json:"fault_in_stall_ms"`
+}
+
+// SpillReport is the machine-readable spill-sweep artifact (BENCH_PR9.json).
+type SpillReport struct {
+	Suite     string       `json:"suite"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	SF        float64      `json:"sf"`
+	UoTBlocks int          `json:"uot_blocks"`
+	Mix       []int        `json:"mix"`
+	Points    []SpillPoint `json:"points"`
+}
+
+// String renders the artifact as a table.
+func (m *SpillReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "spill sweep: RAM fraction of unconstrained peak (SF %g, UoT %d, mix %v)\n",
+		m.SF, m.UoTBlocks, m.Mix)
+	fmt.Fprintf(&sb, "%6s %6s %10s %9s %8s %8s %13s %9s\n",
+		"query", "ram", "wall_ms", "out_blk", "in_blk", "out_mib", "disk_peak_mib", "stall_ms")
+	for _, p := range m.Points {
+		fmt.Fprintf(&sb, "%6s %6.2f %10.2f %9d %8d %8.2f %13.2f %9.2f\n",
+			fmt.Sprintf("Q%d", p.Query), p.RAMFraction, p.WallMS, p.BlocksOut, p.BlocksIn,
+			float64(p.BytesOut)/(1<<20), float64(p.DiskPeakB)/(1<<20), p.StallMS)
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the artifact to path.
+func (m *SpillReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunSpill sweeps the spill threshold over fractions of each mix query's
+// unconstrained peak (1 = all-RAM baseline, then ½, ¼, ⅛) and records wall
+// time and disk traffic at each point — the cost curve of trading resident
+// temp memory for extent I/O. Every spilled result is golden-checked against
+// the query's unconstrained run.
+func RunSpill(cfg Config) (*SpillReport, error) {
+	cfg = cfg.withDefaults()
+	h := New(cfg)
+	d := h.Dataset(128<<10, storage.ColumnStore)
+	rep := &SpillReport{
+		Suite:     "spill",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		SF:        cfg.SF,
+		UoTBlocks: spillUoT,
+		Mix:       serveQueries,
+	}
+	parent, checkClean, err := spillTempDir()
+	if err != nil {
+		return nil, fmt.Errorf("spill artifact: %w", err)
+	}
+	fractions := []float64{1, 0.5, 0.25, 0.125}
+	for _, q := range serveQueries {
+		golden, peak, err := h.spillBaseline(d, q)
+		if err != nil {
+			return nil, fmt.Errorf("spill artifact: %w", err)
+		}
+		for _, f := range fractions {
+			opts := engine.Options{
+				Workers: 1, UoTBlocks: spillUoT, TempBlockBytes: 128 << 10, MemoryBudget: serveBudget,
+			}
+			var threshold int64
+			if f < 1 {
+				threshold = int64(float64(peak) * f)
+				opts.SpillDir = parent
+				opts.SpillThreshold = threshold
+			}
+			t0 := time.Now()
+			res, err := h.run(d, q, opts, tpch.QueryOpts{})
+			wall := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("spill artifact: Q%d at fraction %g: %w", q, f, err)
+			}
+			if serveChecksum(res.Table) != golden {
+				return nil, fmt.Errorf("spill artifact: Q%d at fraction %g diverged from unconstrained golden", q, f)
+			}
+			sp := res.Run.Spill()
+			rep.Points = append(rep.Points, SpillPoint{
+				Query:       q,
+				RAMFraction: f,
+				ThresholdB:  threshold,
+				WallMS:      float64(wall) / float64(time.Millisecond),
+				BlocksOut:   sp.BlocksOut,
+				BlocksIn:    sp.BlocksIn,
+				BytesOut:    sp.BytesOut,
+				BytesIn:     sp.BytesIn,
+				DiskPeakB:   sp.DiskPeak,
+				StallMS:     float64(sp.FaultStallNS) / 1e6,
+			})
+		}
+	}
+	if err := checkClean(); err != nil {
+		return nil, fmt.Errorf("spill artifact: %w", err)
+	}
+	return rep, nil
+}

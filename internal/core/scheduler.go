@@ -94,11 +94,14 @@ type edgeState struct {
 	// Adaptive-controller state: ctl is the edge's controller index (-1 for
 	// static edges), lastDelivery the clock at the previous delivery
 	// boundary, serviceNS the consumer work-order time attributed to this
-	// edge since the last observation, and the counters record every
-	// decision for the stats snapshot.
+	// edge since the last observation, faultedIn the blocks this edge's
+	// deliveries had to fault back in from the spill tier since the last
+	// observation, and the counters record every decision for the stats
+	// snapshot.
 	ctl          int
 	lastDelivery int64
 	serviceNS    int64
+	faultedIn    int
 	raises       int64
 	lowers       int64
 	holds        int64
@@ -529,12 +532,14 @@ func (s *sched) adapt(es *edgeState, delivered int, stallNS, nowNS int64) {
 		ServiceNS:   es.serviceNS,
 		QueueDepth:  len(s.queue),
 		MemPressure: s.overBudget(),
+		FaultedIn:   es.faultedIn,
 	}
 	if es.lastDelivery > 0 {
 		sig.IntervalNS = nowNS - es.lastDelivery
 	}
 	es.lastDelivery = nowNS
 	es.serviceNS = 0
+	es.faultedIn = 0
 	s.applyUoT(es, s.ctx.Adapt.Observe(es.ctl, sig), false)
 }
 
@@ -838,6 +843,8 @@ func (s *sched) emit(st *opState, blocks []*storage.Block, tags map[*storage.Blo
 		return
 	}
 	touched := false
+	evicted := 0
+	var evictedBytes int64
 	for _, b := range blocks {
 		tag := -1
 		if t, ok := tags[b]; ok {
@@ -874,7 +881,20 @@ func (s *sched) emit(st *opState, blocks []*storage.Block, tags map[*storage.Blo
 				es.buf = append(es.buf, b)
 			}
 		}
+		// The block is now sealed and parked awaiting delivery: cool it so
+		// the spill tier may evict it under memory pressure (no-op without a
+		// tier). Cool rebalances, so eviction rounds happen right here on the
+		// scheduler goroutine; mark them on the trace.
+		eb, ebytes := s.ctx.Pool.Cool(b)
+		evicted += eb
+		evictedBytes += ebytes
 		touched = true
+	}
+	if evicted > 0 {
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkSpill, trace.Event{
+			Op: int32(st.id), Rows: int64(evicted), RowsOut: evictedBytes,
+			StartNS: s.ctx.Trace.Now(),
+		})
 	}
 	if !touched {
 		return
@@ -882,6 +902,9 @@ func (s *sched) emit(st *opState, blocks []*storage.Block, tags map[*storage.Blo
 	for _, es := range st.out {
 		if es.e.Kind == Pipelined {
 			s.tryFlush(es)
+			if s.runErr != nil {
+				return // a delivery's fault-in failed; cleanup reclaims the rest
+			}
 		}
 	}
 }
@@ -920,6 +943,9 @@ func (s *sched) tryFlush(es *edgeState) {
 		es.buf = es.buf[es.uot:]
 		delivered += len(chunk)
 		s.deliver(c, es, chunk)
+		if s.runErr != nil {
+			return // fault-in failed; blocks left in es.buf go to cleanup
+		}
 	}
 	if es.producerDone {
 		if len(es.buf) > 0 {
@@ -927,6 +953,9 @@ func (s *sched) tryFlush(es *edgeState) {
 			es.buf = nil
 			delivered += len(chunk)
 			s.deliver(c, es, chunk)
+			if s.runErr != nil {
+				return
+			}
 		}
 		if !es.delivered {
 			es.delivered = true
@@ -976,8 +1005,51 @@ func (s *sched) sampleEdge(es *edgeState, delivered int, stallNS int64) {
 	}, delivered)
 }
 
+// deliver hands one UoT group to the consumer. Every block is pinned first:
+// a pinned block is ineligible for spill eviction for as long as operator
+// code may touch its memory, and a block the tier already evicted is faulted
+// back in synchronously — the read-through stall the delivery path pays in
+// the Section V-C persistent-store regime. A fault-in that fails past the
+// retry bound abandons the whole delivery: the consumer never sees the chunk,
+// non-refcounted blocks are reclaimed inline, refcounted ones by cleanup.
 func (s *sched) deliver(c *opState, es *edgeState, blocks []*storage.Block) {
-	if !c.op.AdoptsInputs() {
+	faulted := 0
+	var faultBytes, faultStall int64
+	for _, b := range blocks {
+		pr, err := s.ctx.Pool.Pin(b)
+		if err != nil {
+			for _, rb := range blocks {
+				if _, ok := s.rc[rb]; !ok {
+					s.ctx.Pool.Release(rb)
+					if s.ctx.Sim != nil {
+						s.ctx.Sim.Evict(rb)
+					}
+				}
+			}
+			s.fail(fmt.Errorf("core: delivering %d block(s) to %s: %w", len(blocks), c.op.Name(), err))
+			return
+		}
+		if pr.FaultedIn {
+			faulted++
+			faultBytes += pr.Bytes
+			faultStall += pr.StallNS
+		}
+	}
+	if faulted > 0 {
+		es.faultedIn += faulted
+		s.ctx.Trace.MarkIn(s.ctx.TraceRun, trace.MarkSpillFaultIn, trace.Event{
+			Op: int32(es.e.To), Edge: es.id,
+			Rows: int64(faulted), RowsOut: faultBytes, StallNS: faultStall,
+			StartNS: s.ctx.Trace.Now(),
+		})
+	}
+	if c.op.AdoptsInputs() {
+		// Ownership leaves the pool with the Feed; the tier must not keep
+		// tracking blocks it can no longer see released.
+		for _, b := range blocks {
+			s.ctx.Pool.Forget(b)
+		}
+	} else {
 		for _, b := range blocks {
 			if _, ok := s.rc[b]; ok {
 				c.held[b] = struct{}{}

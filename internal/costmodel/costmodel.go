@@ -197,6 +197,42 @@ func QueryMemory(edgeUoTs []int, workers int, blockBytes int64, statefulOps int,
 	return (buffered+int64(workers))*blockBytes + int64(statefulOps)*statefulBytes
 }
 
+// SpillRAMClamp is the per-edge UoT clamp of the RAM-resident share of a
+// spilling query's estimate. Once the spill tier is on, a deep edge backlog
+// does not have to be resident: only a few blocks per edge — the ones being
+// filled, delivered, or faulted in — must live in RAM at once, and the rest
+// of the 64-block charge (maxEstimatedUoT) can sit on disk. Four blocks per
+// edge is the pin window the scheduler actually needs: current output,
+// in-delivery group, plus slack for a fault-in racing an eviction.
+const SpillRAMClamp = 4
+
+// QueryMemorySplit is QueryMemory split into the bytes that must stay
+// RAM-resident under a spill tier and the bytes the tier may keep on disk.
+// The invariant ram+spillable == QueryMemory(...) holds for every input: the
+// split only re-labels the per-edge backlog charge above SpillRAMClamp, it
+// never changes the total. Admission with spill enabled charges ram against
+// the memory budget and spillable against the disk budget, fixing the
+// double-count where a spilling query was shed because its full 64-block
+// UoT clamp was held against RAM it will never occupy.
+func QueryMemorySplit(edgeUoTs []int, workers int, blockBytes int64, statefulOps int, statefulBytes int64) (ram, spillable int64) {
+	if blockBytes <= 0 {
+		blockBytes = 128 << 10
+	}
+	for _, u := range edgeUoTs {
+		if u <= 0 {
+			u = 1
+		}
+		if u > maxEstimatedUoT {
+			u = maxEstimatedUoT
+		}
+		if u > SpillRAMClamp {
+			spillable += int64(u-SpillRAMClamp) * blockBytes
+		}
+	}
+	total := QueryMemory(edgeUoTs, workers, blockBytes, statefulOps, statefulBytes)
+	return total - spillable, spillable
+}
+
 // StoreParams models the persistent-store setting of Section V-C, where the
 // hash table stays in the buffer pool (p1 ≈ p2 ≈ 0) and UoT reads/writes hit
 // the storage device.
@@ -230,3 +266,33 @@ func (s StoreParams) LowUoTExtra() float64 {
 // Advantage is the non-pipelining extra cost divided by the pipelining extra
 // cost — the factor by which pipelining wins in the disk setting.
 func (s StoreParams) Advantage() float64 { return s.HighUoTExtra() / s.LowUoTExtra() }
+
+// storeRefUoT is the UoT size DefaultStore's per-UoT device costs are quoted
+// at; SpillCost scales them linearly to other UoT sizes.
+const storeRefUoT = 128 << 10
+
+// SpillProb is the Section V-C analogue of P1Prime with the spill threshold
+// M in place of |L3|: the probability that a UoT buffered at size B by T
+// workers is evicted to the persistent store before its consumer reads it,
+// min(1, 2BT/M).
+func SpillProb(B int64, T int, M int64) float64 {
+	if M <= 0 {
+		return 1
+	}
+	v := 2 * float64(B) * float64(T) / float64(M)
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SpillCost is the expected extra ticks per transferred UoT of size B under
+// a RAM threshold of M bytes with T workers: the eviction probability times
+// one store write (spill) plus one store read (fault-in), scaled from the
+// DefaultStore reference UoT. The adaptive controller adds this to its
+// high-UoT prior so UoT choices price the slow tier in (Section V-C: once
+// the store is in the loop, pipelining wins by orders of magnitude).
+func SpillCost(B int64, T int, M int64) float64 {
+	s := DefaultStore(1)
+	return SpillProb(B, T, M) * float64(s.RStore+s.WStore) * float64(B) / float64(storeRefUoT)
+}

@@ -122,3 +122,64 @@ func TestQueryMemory(t *testing.T) {
 		t.Fatal("estimate must grow with the in-flight cap")
 	}
 }
+
+func TestQueryMemorySplit(t *testing.T) {
+	blk := int64(128 << 10)
+	// The PR8 double-count: a UoTTable edge charges the full 64-block clamp
+	// against RAM even though a spilling query keeps only the pin window
+	// resident. The split pins both figures: 4 resident blocks for the edge
+	// plus 2 worker output blocks, and the other 60 clamp blocks spillable.
+	ram, spill := QueryMemorySplit([]int{1 << 30}, 2, blk, 0, 0)
+	if want := (4 + 2) * blk; ram != want {
+		t.Fatalf("ram = %d, want %d", ram, want)
+	}
+	if want := 60 * blk; spill != want {
+		t.Fatalf("spillable = %d, want %d", spill, want)
+	}
+	// Edges at or under the clamp spill nothing.
+	ram, spill = QueryMemorySplit([]int{1, 4}, 1, blk, 1, 0)
+	if spill != 0 {
+		t.Fatalf("small edges: spillable = %d, want 0", spill)
+	}
+	if want := (1+4+1)*blk + DefaultStatefulBytes; ram != want {
+		t.Fatalf("small edges: ram = %d, want %d", ram, want)
+	}
+	// Invariant: the split never changes the total, whatever the shape.
+	cases := []struct {
+		uots     []int
+		workers  int
+		stateful int
+	}{
+		{[]int{1, 1}, 1, 0},
+		{[]int{1 << 30, 5, 64, 3}, 8, 2},
+		{[]int{0, -1, 100}, 0, 1},
+		{nil, 4, 0},
+	}
+	for _, c := range cases {
+		ram, spill := QueryMemorySplit(c.uots, c.workers, blk, c.stateful, 0)
+		if total := QueryMemory(c.uots, c.workers, blk, c.stateful, 0); ram+spill != total {
+			t.Fatalf("%v: ram %d + spillable %d != total %d", c.uots, ram, spill, total)
+		}
+		if ram <= 0 || spill < 0 {
+			t.Fatalf("%v: degenerate split ram=%d spill=%d", c.uots, ram, spill)
+		}
+	}
+}
+
+func TestSpillCost(t *testing.T) {
+	// Below the threshold the probability — and the cost — scale with B.
+	lo := SpillCost(64<<10, 1, 1<<30)
+	hi := SpillCost(128<<10, 1, 1<<30)
+	if lo <= 0 || hi < 4*lo-1e-9 || hi > 4*lo+1e-9 {
+		t.Fatalf("SpillCost should be quadratic in B below saturation: lo=%g hi=%g", lo, hi)
+	}
+	// Saturated: probability 1, cost equals the scaled device round trip.
+	s := DefaultStore(1)
+	sat := SpillCost(256<<10, 8, 1) // M tiny → certain eviction
+	if want := float64(s.RStore+s.WStore) * 2; sat != want {
+		t.Fatalf("saturated SpillCost = %g, want %g", sat, want)
+	}
+	if SpillProb(1<<20, 4, 0) != 1 {
+		t.Fatal("zero budget must saturate the spill probability")
+	}
+}

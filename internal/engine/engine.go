@@ -49,6 +49,20 @@ type Options struct {
 	// Section III-C scheduler policy). Under sustained pressure the
 	// scheduler raises producer-edge UoTs instead of stalling.
 	MemoryBudget int64
+	// SpillDir, if non-empty, attaches a disk-backed spill tier to this
+	// execution's private temp-block pool: cold sealed blocks parked in edge
+	// buffers are evicted to extent files in a per-run subdirectory whenever
+	// live temp bytes exceed SpillThreshold, and faulted back in on delivery
+	// (Section V-C's persistent-store regime as a memory-pressure valve).
+	// Ignored when SharedPool is set — the pool's owner (the session) owns
+	// spill policy there. The directory is removed when Execute returns,
+	// success or failure.
+	SpillDir string
+	// SpillThreshold is the live-byte level above which eviction runs. 0
+	// inherits MemoryBudget; if that is also 0, every cooled block is
+	// eligible immediately (maximal eviction — what the fault and
+	// golden-equivalence tests want).
+	SpillThreshold int64
 	// Context, if non-nil, cancels the whole run when done: queued work
 	// orders are dropped and Execute returns the cancellation error.
 	Context context.Context
@@ -146,6 +160,20 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 			pool.DisableRecycling()
 		}
 	}
+	spillOn := opts.SpillDir != "" && opts.SharedPool == nil
+	if spillOn {
+		scfg := storage.SpillConfig{Dir: opts.SpillDir, Threshold: opts.SpillThreshold}
+		if scfg.Threshold <= 0 {
+			scfg.Threshold = opts.MemoryBudget
+		}
+		if inj := opts.Faults; inj != nil {
+			scfg.WriteFault = func() error { return inj.At(faults.SpillWrite) }
+			scfg.ReadFault = func() error { return inj.At(faults.SpillRead) }
+		}
+		if err := pool.EnableSpill(scfg); err != nil {
+			return nil, err
+		}
+	}
 	var traceRun int32
 	if serving {
 		// Concurrent executions each record into their own trace section;
@@ -186,6 +214,13 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		if ac.DefaultUoT == 0 {
 			ac.DefaultUoT = opts.UoTBlocks
 		}
+		if spillOn && ac.SpillBudget == 0 {
+			// Let the controller's prior price the slow tier in: the RAM
+			// level eviction kicks in at is the M of costmodel.SpillCost.
+			if ac.SpillBudget = opts.SpillThreshold; ac.SpillBudget <= 0 {
+				ac.SpillBudget = opts.MemoryBudget
+			}
+		}
 		ctx.Adapt = uotctl.New(ac)
 	}
 	// Merge (not overwrite): partitioned plans pre-seed MaxDOP with the
@@ -203,6 +238,22 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 	run.Finish()
 	if opts.Faults != nil {
 		run.AddFaults(opts.Faults.Injected())
+	}
+	if spillOn {
+		// The tier's own counters are the single source of truth; copy them
+		// into the run once, then tear the tier down (extent files and the
+		// per-run directory go with it, on failure paths too).
+		sc := pool.SpillCounters()
+		run.SetSpill(stats.Spill{
+			BlocksOut: sc.BlocksOut, BytesOut: sc.BytesOut,
+			BlocksIn: sc.BlocksIn, BytesIn: sc.BytesIn,
+			FaultStallNS: sc.FaultStallNS,
+			WriteFaults:  sc.WriteFaults, ReadFaults: sc.ReadFaults,
+			DiskLive: sc.DiskLive, DiskPeak: sc.DiskPeak,
+		})
+		if cerr := pool.CloseSpill(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ package engine_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 
@@ -34,6 +35,11 @@ type mmCfg struct {
 	// changes regroup deliveries but must never change results (int64-only
 	// data makes the equality exact).
 	Adaptive bool
+	// Spill, when positive, attaches a disk-backed spill tier with this
+	// eviction threshold in bytes (1 = evict every cooled block). Round-trips
+	// through the block codec and fault-in reordering are pure storage
+	// mechanics, so results must be bit-identical to the in-RAM base run.
+	Spill int64
 }
 
 func (c mmCfg) String() string {
@@ -41,8 +47,8 @@ func (c mmCfg) String() string {
 	if c.UoT == core.UoTTable {
 		uot = "table"
 	}
-	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d adaptive=%v",
-		c.Workers, uot, c.Temp, c.Parts, c.Adaptive)
+	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d adaptive=%v spill=%d",
+		c.Workers, uot, c.Temp, c.Parts, c.Adaptive, c.Spill)
 }
 
 var mmBase = mmCfg{Workers: 1, UoT: 1, Temp: 16 << 10}
@@ -67,6 +73,10 @@ var mmVariants = []mmCfg{
 	{Workers: 1, UoT: 1, Temp: 16 << 10, Adaptive: true},
 	{Workers: 7, UoT: 1, Temp: 4 << 10, Adaptive: true},
 	{Workers: 4, UoT: 16, Temp: 16 << 10, Parts: 4, Adaptive: true},
+	{Workers: 1, UoT: 3, Temp: 16 << 10, Spill: 1},
+	{Workers: 4, UoT: 16, Temp: 4 << 10, Spill: 32 << 10},
+	{Workers: 2, UoT: 8, Temp: 16 << 10, Parts: 2, Spill: 8 << 10},
+	{Workers: 7, UoT: 64, Temp: 16 << 10, Adaptive: true, Spill: 1},
 }
 
 // mmSpec is a fully-resolved random plan: data shape and operator choices.
@@ -235,10 +245,19 @@ func (s *mmSpec) build(parts int) *engine.Builder {
 // runEncoded executes the spec under cfg and returns the canonicalized
 // result (int64-only, so equality is exact).
 func (s *mmSpec) runEncoded(cfg mmCfg) (string, error) {
-	res, err := engine.Execute(s.build(cfg.Parts), engine.Options{
+	opts := engine.Options{
 		Workers: cfg.Workers, UoTBlocks: cfg.UoT, TempBlockBytes: cfg.Temp,
 		AdaptiveUoT: cfg.Adaptive,
-	})
+	}
+	if cfg.Spill > 0 {
+		dir, err := os.MkdirTemp("", "mm-spill-")
+		if err != nil {
+			return "", err
+		}
+		defer os.RemoveAll(dir)
+		opts.SpillDir, opts.SpillThreshold = dir, cfg.Spill
+	}
+	res, err := engine.Execute(s.build(cfg.Parts), opts)
 	if err != nil {
 		return "", err
 	}
@@ -259,6 +278,7 @@ func (s *mmSpec) shrinkConfig(t *testing.T, failing mmCfg, want string) mmCfg {
 			func(c mmCfg) mmCfg { c.Temp = mmBase.Temp; return c },
 			func(c mmCfg) mmCfg { c.Parts = mmBase.Parts; return c },
 			func(c mmCfg) mmCfg { c.Adaptive = mmBase.Adaptive; return c },
+			func(c mmCfg) mmCfg { c.Spill = mmBase.Spill; return c },
 		} {
 			trial := reduce(cur)
 			if trial == cur {

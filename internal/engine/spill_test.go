@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/storage"
+)
+
+// spillOpts returns execution options with a spill tier whose threshold of 1
+// byte makes every cooled block spill-eligible — the maximal-traffic setting
+// the equivalence and crash tests want.
+func spillOpts(t *testing.T, workers int) Options {
+	t.Helper()
+	return Options{
+		Workers: workers, UoTBlocks: 2, TempBlockBytes: 4 << 10,
+		SpillDir: t.TempDir(), SpillThreshold: 1,
+	}
+}
+
+// assertSpillDirEmpty verifies the per-run spill subdirectory (and with it
+// every extent file, orphaned or not) was removed when Execute returned.
+func assertSpillDirEmpty(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading spill parent dir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill files leaked past Execute: %d entries left in %s", len(entries), dir)
+	}
+}
+
+// TestSpillGoldenEquivalence: the same plan run entirely in RAM and run with
+// a spill tier evicting every cooled block must produce identical results —
+// eviction, codec round-trips, and fault-in reordering are storage mechanics,
+// not semantics. The spilled run must show real two-way disk traffic, leave
+// no live extent bytes, and remove its spill directory.
+func TestSpillGoldenEquivalence(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+	base, _ := mustRows(t, buildJoinAggPlan(fact, dim), Options{
+		Workers: 1, UoTBlocks: 1, TempBlockBytes: 4 << 10,
+	}, "in-RAM baseline")
+	if len(base) == 0 {
+		t.Fatal("baseline is empty")
+	}
+
+	for _, workers := range []int{1, 4} {
+		opts := spillOpts(t, workers)
+		rows, res := mustRows(t, buildJoinAggPlan(fact, dim), opts, "spilled")
+		if !sameRows(base, rows) {
+			t.Fatalf("workers=%d: spilled result differs from in-RAM baseline", workers)
+		}
+		sp := res.Run.Spill()
+		if sp.BlocksOut == 0 || sp.BlocksIn == 0 {
+			t.Fatalf("workers=%d: no two-way spill traffic (out=%d in=%d); equivalence is vacuous", workers, sp.BlocksOut, sp.BlocksIn)
+		}
+		if sp.BytesOut == 0 || sp.BytesIn == 0 || sp.DiskPeak == 0 {
+			t.Fatalf("workers=%d: byte counters inconsistent: %+v", workers, sp)
+		}
+		if sp.DiskLive != 0 {
+			t.Fatalf("workers=%d: %d extent bytes still live after the run", workers, sp.DiskLive)
+		}
+		if r := res.Run.Robust(); r.LeakedBlocks != 0 || r.OutstandingRefs != 0 {
+			t.Fatalf("workers=%d: leaks after spilled run: %+v", workers, r)
+		}
+		assertSpillDirEmpty(t, opts.SpillDir)
+	}
+}
+
+// TestSpillCrashConsistency is the crash/fault satellite: a fault — error or
+// panic — injected mid-spill at the spill_write site on every eviction
+// attempt demotes the eviction to stall-and-retry. No half-written extent
+// record is ever visible, the block stays resident and is re-derived from
+// RAM on delivery, and results stay golden-identical. Injected read faults at
+// spill_read exercise the bounded fault-in retry the same way.
+func TestSpillCrashConsistency(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+	base, _ := mustRows(t, buildJoinAggPlan(fact, dim), Options{
+		Workers: 1, UoTBlocks: 1, TempBlockBytes: 4 << 10,
+	}, "fault-free baseline")
+
+	cases := []struct {
+		name string
+		site faults.Site
+		kind faults.Kind
+		rate float64
+	}{
+		// Rate-1.0 write faults: every eviction attempt dies mid-spill, so
+		// nothing must ever reach disk and everything re-derives from RAM.
+		{"write-error", faults.SpillWrite, faults.KindError, 1},
+		{"write-panic", faults.SpillWrite, faults.KindPanic, 1},
+		// Sub-1.0 read faults: fault-ins stall and retry within the bound
+		// (rate^8 makes exhausting it vanishingly unlikely).
+		{"read-error", faults.SpillRead, faults.KindError, 0.15},
+		{"read-panic", faults.SpillRead, faults.KindPanic, 0.15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := faults.New(faults.Config{
+				Seed:  11,
+				Rates: map[faults.Site]float64{tc.site: tc.rate},
+				Kinds: []faults.Kind{tc.kind},
+			})
+			opts := spillOpts(t, 2)
+			opts.Faults = inj
+			opts.MaxAttempts = 10
+			opts.RetryBackoff = time.Microsecond
+			rows, res := mustRows(t, buildJoinAggPlan(fact, dim), opts, "faulted spill")
+			if !sameRows(base, rows) {
+				t.Fatal("faulted spill run differs from fault-free baseline")
+			}
+			sp := res.Run.Spill()
+			switch tc.site {
+			case faults.SpillWrite:
+				if sp.WriteFaults == 0 {
+					t.Fatal("spill_write site never fired")
+				}
+				if sp.BlocksOut != 0 {
+					t.Fatalf("%d blocks reached disk despite rate-1.0 write faults", sp.BlocksOut)
+				}
+			case faults.SpillRead:
+				if sp.ReadFaults == 0 {
+					t.Fatal("spill_read site never fired")
+				}
+				if sp.BlocksIn == 0 {
+					t.Fatal("no fault-ins despite spill traffic; retry path untested")
+				}
+			}
+			if sp.DiskLive != 0 {
+				t.Fatalf("%d extent bytes live after the run", sp.DiskLive)
+			}
+			if r := res.Run.Robust(); r.LeakedBlocks != 0 || r.OutstandingRefs != 0 {
+				t.Fatalf("leaks after faulted spill run: %+v", r)
+			}
+			assertSpillDirEmpty(t, opts.SpillDir)
+		})
+	}
+}
+
+// TestSpillPersistentReadFaultFailsCleanly: when every fault-in attempt
+// faults (rate 1.0), the retry bound is exhausted, the delivery is abandoned,
+// and the run fails with the spill error — but nothing leaks: edge-buffered
+// and refcounted blocks are reclaimed, disk records freed, and the spill
+// directory removed on the failure path too.
+func TestSpillPersistentReadFaultFailsCleanly(t *testing.T) {
+	_, fact, dim := fixture(t, storage.ColumnStore, 4<<10)
+	inj := faults.New(faults.Config{
+		Seed:  3,
+		Rates: map[faults.Site]float64{faults.SpillRead: 1},
+		Kinds: []faults.Kind{faults.KindError},
+	})
+	opts := spillOpts(t, 2)
+	opts.Faults = inj
+	_, err := Execute(buildJoinAggPlan(fact, dim), opts)
+	if err == nil {
+		t.Fatal("run succeeded despite rate-1.0 persistent read faults")
+	}
+	if !strings.Contains(err.Error(), "spill fault-in failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	assertSpillDirEmpty(t, opts.SpillDir)
+}

@@ -50,13 +50,23 @@ const (
 	// before any partition stream is touched (pre-mutation; demotes the
 	// vectorized scatter to the row-at-a-time reference path).
 	Repartition
+	// SpillWrite fires before the spill tier writes an evicted block to an
+	// extent file. Any fired kind — panics included — demotes the eviction
+	// to stall-and-retry: the block stays resident and the tier tries again
+	// at the next pressure event, so no spill file is ever half-written.
+	SpillWrite
+	// SpillRead fires before the spill tier faults a block back in from
+	// disk. The read is retried a bounded number of times; persistent
+	// faults fail the pinning delivery, and the run's retry re-derives the
+	// block from upstream.
+	SpillRead
 
-	numSites = 6
+	numSites = 8
 )
 
 // Sites lists every defined site.
 func Sites() []Site {
-	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize, SortRun, Repartition}
+	return []Site{HashInsert, BloomBuild, AggUpsert, BlockMaterialize, SortRun, Repartition, SpillWrite, SpillRead}
 }
 
 // String returns the site's name.
@@ -74,6 +84,10 @@ func (s Site) String() string {
 		return "sort_run"
 	case Repartition:
 		return "repartition"
+	case SpillWrite:
+		return "spill_write"
+	case SpillRead:
+		return "spill_read"
 	default:
 		return fmt.Sprintf("site(%d)", uint8(s))
 	}

@@ -76,6 +76,7 @@ type waiter struct {
 	priority  int
 	seq       uint64 // arrival order, for FIFO within a priority class
 	est       int64
+	spill     int64 // spillable share, charged against the disk budget
 	ready     chan struct{}
 	err       error // set before ready closes; nil = granted
 	abandoned bool  // waiter gave up (cancel/deadline); skip at pump
@@ -86,22 +87,31 @@ type waiter struct {
 // grants strictly in order (priority class descending, FIFO within a class).
 // Head-of-line blocking is deliberate: a large query at the head is never
 // bypassed by small late arrivals, which is what guarantees no starvation.
+//
+// With a spill tier attached the controller arbitrates two budgets: each
+// query's estimate splits into a RAM-resident share (charged against budget)
+// and a spillable share (charged against diskBudget), so a query whose full
+// footprint exceeds RAM is admitted as long as the RAM-resident part fits —
+// the deep edge backlogs the rest of the charge stands for can live on disk.
 type admission struct {
 	mu         sync.Mutex
 	cond       *sync.Cond // signaled when inflight drops (for Close drain)
 	budget     int64
+	diskBudget int64 // 0 = no spill tier: spillable shares must be 0
 	maxConc    int
 	queueDepth int
 
-	inflight int
-	reserved int64
-	queue    []*waiter // priority desc, seq asc
-	seq      uint64
-	closed   bool
+	inflight     int
+	reserved     int64
+	reservedDisk int64
+	queue        []*waiter // priority desc, seq asc
+	seq          uint64
+	closed       bool
 }
 
-func (a *admission) init(budget int64, maxConc, queueDepth int) {
+func (a *admission) init(budget, diskBudget int64, maxConc, queueDepth int) {
 	a.budget = budget
+	a.diskBudget = diskBudget
 	a.maxConc = maxConc
 	a.queueDepth = queueDepth
 	a.cond = sync.NewCond(&a.mu)
@@ -119,19 +129,21 @@ func (a *admission) waitingLocked() int {
 }
 
 // admit blocks until the query may run (nil), or sheds it with a typed
-// error. ctx, if non-nil, aborts the wait: an expired deadline becomes an
-// AdmissionError (the server never started the query — that is load
-// shedding, not a failed run), a plain cancel a *core.CancelError.
-func (a *admission) admit(ctx context.Context, priority int, est int64) error {
+// error. est is the RAM-resident share, spill the spillable share (0 without
+// a spill tier). ctx, if non-nil, aborts the wait: an expired deadline
+// becomes an AdmissionError (the server never started the query — that is
+// load shedding, not a failed run), a plain cancel a *core.CancelError.
+func (a *admission) admit(ctx context.Context, priority int, est, spill int64) error {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
 		return ErrSessionClosed
 	}
-	if est > a.budget {
+	if est > a.budget || spill > a.diskBudget {
 		a.mu.Unlock()
 		return &AdmissionError{Reason: OverBudget,
-			Detail: fmt.Sprintf("estimated %d bytes exceeds global budget %d", est, a.budget)}
+			Detail: fmt.Sprintf("estimated %d resident + %d spillable bytes exceeds budgets (%d RAM, %d disk)",
+				est, spill, a.budget, a.diskBudget)}
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -144,9 +156,11 @@ func (a *admission) admit(ctx context.Context, priority int, est int64) error {
 	}
 	// Immediate grant only when nobody is queued ahead: strict FIFO within a
 	// class means later arrivals may not jump a parked waiter of >= priority.
-	if a.inflight < a.maxConc && a.reserved+est <= a.budget && !a.blockedByQueueLocked(priority) {
+	if a.inflight < a.maxConc && a.reserved+est <= a.budget &&
+		a.reservedDisk+spill <= a.diskBudget && !a.blockedByQueueLocked(priority) {
 		a.inflight++
 		a.reserved += est
+		a.reservedDisk += spill
 		a.mu.Unlock()
 		return nil
 	}
@@ -156,7 +170,7 @@ func (a *admission) admit(ctx context.Context, priority int, est int64) error {
 			Detail: fmt.Sprintf("wait queue at capacity (%d)", a.queueDepth)}
 	}
 	a.seq++
-	w := &waiter{priority: priority, seq: a.seq, est: est, ready: make(chan struct{})}
+	w := &waiter{priority: priority, seq: a.seq, est: est, spill: spill, ready: make(chan struct{})}
 	i := sort.Search(len(a.queue), func(i int) bool {
 		return a.queue[i].priority < priority
 	})
@@ -182,7 +196,7 @@ func (a *admission) admit(ctx context.Context, priority int, est int64) error {
 		if w.err != nil {
 			return w.err // session closed under us
 		}
-		a.release(est) // granted: give the slot straight back
+		a.release(est, spill) // granted: give the slot straight back
 	default:
 		w.abandoned = true
 		a.pumpLocked() // an abandoned head may unblock the next waiter
@@ -216,12 +230,14 @@ func (a *admission) pumpLocked() {
 			a.queue = a.queue[1:]
 			continue
 		}
-		if a.inflight >= a.maxConc || a.reserved+w.est > a.budget {
+		if a.inflight >= a.maxConc || a.reserved+w.est > a.budget ||
+			a.reservedDisk+w.spill > a.diskBudget {
 			return
 		}
 		a.queue = a.queue[1:]
 		a.inflight++
 		a.reserved += w.est
+		a.reservedDisk += w.spill
 		close(w.ready)
 	}
 }
@@ -233,12 +249,13 @@ func (a *admission) snapshot() (inflight, waiting int, reserved int64) {
 	return a.inflight, a.waitingLocked(), a.reserved
 }
 
-// release returns an admitted query's slot and reservation, then grants to
+// release returns an admitted query's slot and reservations, then grants to
 // waiters.
-func (a *admission) release(est int64) {
+func (a *admission) release(est, spill int64) {
 	a.mu.Lock()
 	a.inflight--
 	a.reserved -= est
+	a.reservedDisk -= spill
 	a.pumpLocked()
 	if a.inflight == 0 {
 		a.cond.Broadcast()

@@ -11,14 +11,14 @@ import (
 
 func newAdm(budget int64, maxConc, depth int) *admission {
 	a := &admission{}
-	a.init(budget, maxConc, depth)
+	a.init(budget, 0, maxConc, depth)
 	return a
 }
 
 // admitAsync parks an admit call on a goroutine and reports its result.
 func admitAsync(a *admission, ctx context.Context, prio int, est int64) chan error {
 	c := make(chan error, 1)
-	go func() { c <- a.admit(ctx, prio, est) }()
+	go func() { c <- a.admit(ctx, prio, est, 0) }()
 	return c
 }
 
@@ -39,16 +39,16 @@ func waitWaiting(t *testing.T, a *admission, n int) {
 
 func TestAdmissionImmediateAndRelease(t *testing.T) {
 	a := newAdm(100, 2, 4)
-	if err := a.admit(nil, 0, 40); err != nil {
+	if err := a.admit(nil, 0, 40, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.admit(nil, 0, 40); err != nil {
+	if err := a.admit(nil, 0, 40, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Third exceeds concurrency: parks, then grants on release.
 	c := admitAsync(a, nil, 0, 10)
 	waitWaiting(t, a, 1)
-	a.release(40)
+	a.release(40, 0)
 	if err := <-c; err != nil {
 		t.Fatalf("parked waiter got %v after release", err)
 	}
@@ -60,12 +60,12 @@ func TestAdmissionImmediateAndRelease(t *testing.T) {
 
 func TestQueueFullTyped(t *testing.T) {
 	a := newAdm(100, 1, 1)
-	if err := a.admit(nil, 0, 10); err != nil {
+	if err := a.admit(nil, 0, 10, 0); err != nil {
 		t.Fatal(err)
 	}
 	c := admitAsync(a, nil, 0, 10)
 	waitWaiting(t, a, 1)
-	err := a.admit(nil, 0, 10)
+	err := a.admit(nil, 0, 10, 0)
 	if !errors.Is(err, ErrAdmissionRejected) {
 		t.Fatalf("err = %v, want ErrAdmissionRejected", err)
 	}
@@ -73,13 +73,13 @@ func TestQueueFullTyped(t *testing.T) {
 	if !errors.As(err, &ae) || ae.Reason != QueueFull {
 		t.Fatalf("err = %v, want QueueFull", err)
 	}
-	a.release(10)
+	a.release(10, 0)
 	<-c
 }
 
 func TestOverBudgetTyped(t *testing.T) {
 	a := newAdm(100, 4, 4)
-	err := a.admit(nil, 0, 101)
+	err := a.admit(nil, 0, 101, 0)
 	if !errors.Is(err, ErrAdmissionRejected) || !errors.Is(err, core.ErrMemoryBudget) {
 		t.Fatalf("err = %v, want rejection matching core.ErrMemoryBudget", err)
 	}
@@ -89,7 +89,7 @@ func TestDeadlineBlownTyped(t *testing.T) {
 	a := newAdm(100, 4, 4)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	err := a.admit(ctx, 0, 10)
+	err := a.admit(ctx, 0, 10, 0)
 	if !errors.Is(err, ErrAdmissionRejected) || !errors.Is(err, core.ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want rejection matching core.ErrDeadlineExceeded", err)
 	}
@@ -97,7 +97,7 @@ func TestDeadlineBlownTyped(t *testing.T) {
 
 func TestPriorityGrantOrder(t *testing.T) {
 	a := newAdm(100, 1, 4)
-	if err := a.admit(nil, 0, 10); err != nil {
+	if err := a.admit(nil, 0, 10, 0); err != nil {
 		t.Fatal(err)
 	}
 	low := admitAsync(a, nil, 0, 10)
@@ -105,7 +105,7 @@ func TestPriorityGrantOrder(t *testing.T) {
 	high := admitAsync(a, nil, 5, 10)
 	waitWaiting(t, a, 2)
 
-	a.release(10)
+	a.release(10, 0)
 	select {
 	case err := <-high:
 		if err != nil {
@@ -114,11 +114,11 @@ func TestPriorityGrantOrder(t *testing.T) {
 	case <-low:
 		t.Fatal("low-priority waiter granted before high-priority")
 	}
-	a.release(10)
+	a.release(10, 0)
 	if err := <-low; err != nil {
 		t.Fatal(err)
 	}
-	a.release(10)
+	a.release(10, 0)
 }
 
 // TestHeadOfLineNoBypass: a large query at the queue head is never bypassed
@@ -126,7 +126,7 @@ func TestPriorityGrantOrder(t *testing.T) {
 // no-starvation guarantee.
 func TestHeadOfLineNoBypass(t *testing.T) {
 	a := newAdm(100, 4, 4)
-	if err := a.admit(nil, 0, 60); err != nil {
+	if err := a.admit(nil, 0, 60, 0); err != nil {
 		t.Fatal(err)
 	}
 	big := admitAsync(a, nil, 0, 50) // 60+50 > 100: parks
@@ -138,7 +138,7 @@ func TestHeadOfLineNoBypass(t *testing.T) {
 		t.Fatal("small waiter bypassed the blocked head")
 	case <-time.After(5 * time.Millisecond):
 	}
-	a.release(60)
+	a.release(60, 0)
 	if err := <-big; err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestHeadOfLineNoBypass(t *testing.T) {
 // blocks grants behind it.
 func TestAbandonedWaiterSkipped(t *testing.T) {
 	a := newAdm(100, 1, 4)
-	if err := a.admit(nil, 0, 10); err != nil {
+	if err := a.admit(nil, 0, 10, 0); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -166,7 +166,7 @@ func TestAbandonedWaiterSkipped(t *testing.T) {
 		t.Fatalf("cancelled waiter got %v", err)
 	}
 	waitWaiting(t, a, 1)
-	a.release(10)
+	a.release(10, 0)
 	if err := <-second; err != nil {
 		t.Fatalf("waiter behind abandoned head got %v", err)
 	}
@@ -174,7 +174,7 @@ func TestAbandonedWaiterSkipped(t *testing.T) {
 
 func TestCloseFailsWaiters(t *testing.T) {
 	a := newAdm(100, 1, 4)
-	if err := a.admit(nil, 0, 10); err != nil {
+	if err := a.admit(nil, 0, 10, 0); err != nil {
 		t.Fatal(err)
 	}
 	parked := admitAsync(a, nil, 0, 10)
@@ -184,9 +184,9 @@ func TestCloseFailsWaiters(t *testing.T) {
 	if err := <-parked; !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("parked waiter got %v, want ErrSessionClosed", err)
 	}
-	a.release(10)
+	a.release(10, 0)
 	<-done
-	if err := a.admit(nil, 0, 10); !errors.Is(err, ErrSessionClosed) {
+	if err := a.admit(nil, 0, 10, 0); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("post-close admit got %v, want ErrSessionClosed", err)
 	}
 }

@@ -46,6 +46,24 @@ type Config struct {
 	// Trace, if non-nil, records every query into its own concurrent trace
 	// section, span-labelled with the query id.
 	Trace *trace.Tracer
+
+	// SpillDir, if non-empty, attaches a disk-backed spill tier to the
+	// shared temp-block pool: cold sealed blocks parked in edge buffers are
+	// evicted to extent files whenever global live temp bytes exceed
+	// SpillThreshold, and faulted back in at delivery. Admission then splits
+	// each query's estimate into a RAM-resident share (charged against
+	// MemoryBudget) and a spillable share (charged against DiskBudget), so an
+	// over-RAM query that fits RAM+disk is admitted instead of shed.
+	SpillDir string
+	// SpillThreshold is the live-byte level above which eviction runs
+	// (default: MemoryBudget).
+	SpillThreshold int64
+	// DiskBudget bounds the reserved spillable bytes (default 8× the memory
+	// budget). Only meaningful with SpillDir set.
+	DiskBudget int64
+	// SpillFaults, if non-nil, is consulted at the spill_write/spill_read
+	// sites (deterministic chaos testing of the spill tier).
+	SpillFaults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +87,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UoTBlocks <= 0 {
 		c.UoTBlocks = 1
+	}
+	if c.SpillDir != "" {
+		if c.SpillThreshold <= 0 {
+			c.SpillThreshold = c.MemoryBudget
+		}
+		if c.DiskBudget <= 0 {
+			c.DiskBudget = 8 * c.MemoryBudget
+		}
 	}
 	return c
 }
@@ -151,13 +177,27 @@ type Session struct {
 	cRejQueue, cRejBudget, cRejDeadline, cCancel, cRunDead int64
 }
 
-// Open starts a serving session.
+// Open starts a serving session. It panics if a configured spill directory
+// cannot be set up — a server misconfiguration better surfaced at startup
+// than as shed queries later.
 func Open(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	s := &Session{cfg: cfg}
 	s.pool = NewWorkerPool(cfg.Workers)
 	s.blocks = storage.NewPool(&s.gauge, nil)
-	s.adm.init(cfg.MemoryBudget, cfg.MaxConcurrent, cfg.QueueDepth)
+	var diskBudget int64
+	if cfg.SpillDir != "" {
+		scfg := storage.SpillConfig{Dir: cfg.SpillDir, Threshold: cfg.SpillThreshold}
+		if inj := cfg.SpillFaults; inj != nil {
+			scfg.WriteFault = func() error { return inj.At(faults.SpillWrite) }
+			scfg.ReadFault = func() error { return inj.At(faults.SpillRead) }
+		}
+		if err := s.blocks.EnableSpill(scfg); err != nil {
+			panic(fmt.Sprintf("session: %v", err))
+		}
+		diskBudget = cfg.DiskBudget
+	}
+	s.adm.init(cfg.MemoryBudget, diskBudget, cfg.MaxConcurrent, cfg.QueueDepth)
 	return s
 }
 
@@ -182,9 +222,17 @@ func (s *Session) Submit(req Request) (*Response, error) {
 	if uot <= 0 {
 		uot = s.cfg.UoTBlocks
 	}
+	// With a spill tier the estimate splits: the RAM-resident share competes
+	// for the memory budget, the spillable share for the disk budget. An
+	// explicit EstBytes override is taken as all-resident.
 	est := req.EstBytes
+	var spillable int64
 	if est <= 0 {
-		est = EstimateBuilder(b, workers, uot, int64(s.cfg.BlockBytes))
+		if s.cfg.SpillDir != "" {
+			est, spillable = EstimateBuilderSplit(b, workers, uot, int64(s.cfg.BlockBytes))
+		} else {
+			est = EstimateBuilder(b, workers, uot, int64(s.cfg.BlockBytes))
+		}
 	}
 
 	ctx := req.Context
@@ -198,13 +246,13 @@ func (s *Session) Submit(req Request) (*Response, error) {
 	}
 
 	start := time.Now()
-	if err := s.adm.admit(ctx, req.Priority, est); err != nil {
+	if err := s.adm.admit(ctx, req.Priority, est, spillable); err != nil {
 		s.countAdmitErr(err)
 		return nil, err
 	}
 	queued := time.Since(start)
 	atomic.AddInt64(&s.cAdmitted, 1)
-	defer s.adm.release(est)
+	defer s.adm.release(est, spillable)
 
 	perBudget := req.MemoryBudget
 	if perBudget <= 0 {
@@ -307,13 +355,21 @@ func (s *Session) Occupancy() (inflight, waiting int, reserved int64) {
 	return s.adm.snapshot()
 }
 
-// Close rejects queued waiters, waits for running queries to finish, and
-// stops the worker pool. Submit calls after Close fail with
+// SpillStats snapshots the shared pool's spill-tier counters (zero without a
+// spill tier). DiskLive and Outstanding are 0 whenever the session is idle —
+// the spill-file side of the cross-query zero-leak invariant.
+func (s *Session) SpillStats() storage.SpillCounters { return s.blocks.SpillCounters() }
+
+// Close rejects queued waiters, waits for running queries to finish, stops
+// the worker pool, and tears down the spill tier (extent files and the
+// per-session spill directory go with it — the drain happens first, so no
+// query can still touch the tier). Submit calls after Close fail with
 // ErrSessionClosed.
 func (s *Session) Close() {
 	if !atomic.CompareAndSwapInt32(&s.closed, 0, 1) {
 		return
 	}
 	s.adm.closeAndDrain()
+	s.blocks.CloseSpill()
 	s.pool.Close()
 }

@@ -168,6 +168,7 @@ type Run struct {
 	poolCheckouts int64
 
 	robust   Robustness
+	spill    Spill
 	edgeUoTs []EdgeUoT
 
 	// query/label identify the run among concurrent runs (serving layer);
@@ -252,6 +253,36 @@ type Robustness struct {
 	// entries. Both must be zero.
 	LeakedBlocks    int64
 	OutstandingRefs int64
+}
+
+// Spill is one run's spill-tier activity: how many temp blocks the disk
+// tier absorbed and returned, the stall cost of the read-through path, the
+// disk high-water mark, and the stall-and-retry demotion counts of the
+// spill_write/spill_read fault sites. Copied once from the tier's own
+// counters at run end (engine.Execute), so there is no double counting with
+// the scheduler's trace marks.
+type Spill struct {
+	BlocksOut, BytesOut int64 // evictions: blocks written to extent files
+	BlocksIn, BytesIn   int64 // fault-ins: blocks read back before delivery
+	FaultStallNS        int64 // wall time deliveries blocked on fault-in
+	WriteFaults         int64 // evictions demoted to stall-and-retry
+	ReadFaults          int64 // fault-in read attempts that were retried
+	DiskLive            int64 // extent bytes still live at snapshot time
+	DiskPeak            int64 // extent-byte high-water mark
+}
+
+// SetSpill records the run's spill-tier snapshot.
+func (r *Run) SetSpill(s Spill) {
+	r.mu.Lock()
+	r.spill = s
+	r.mu.Unlock()
+}
+
+// Spill returns the run's spill-tier snapshot (zero without a spill tier).
+func (r *Run) Spill() Spill {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spill
 }
 
 // Robust returns a snapshot of the run's robustness counters.

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -35,6 +36,10 @@ type Pool struct {
 	gauge     *stats.MemGauge // live-bytes gauge of this view, may be nil
 	checkouts func()          // per-checkout hook of this view, may be nil
 	noRecycle bool
+
+	// spill is the optional disk tier (spill.go). Root only; subpool views
+	// reach it through root(). Atomic so the nil check on hot paths is free.
+	spill atomic.Pointer[spillTier]
 }
 
 // DisableRecycling makes Release drop block allocations instead of keeping
@@ -123,6 +128,12 @@ func (p *Pool) CheckOut(owner int, schema *Schema, format Format, blockBytes int
 		b = NewBlock(schema, format, blockBytes)
 	}
 	p.addLive(int64(b.AllocBytes()))
+	// A fresh checkout is the allocation edge that can push the pool over
+	// its RAM threshold; let the spill tier shed cold blocks right here, on
+	// the worker's stack, rather than waiting for the scheduler's next cool.
+	if t := p.root().spill.Load(); t != nil {
+		t.balance()
+	}
 	return b
 }
 
@@ -196,10 +207,17 @@ func (p *Pool) Disown(n int64) { p.subLive(n) }
 
 // Release recycles a block whose contents are no longer needed (its consumer
 // operator finished). The allocation is kept for reuse on the root freelist
-// but no longer counts as live intermediate memory.
+// but no longer counts as live intermediate memory. A block the spill tier
+// evicted has no RAM allocation and was uncredited at eviction time, so it
+// is dropped outright — its disk record is reclaimed, nothing is recycled.
 func (p *Pool) Release(b *Block) {
-	p.subLive(int64(b.AllocBytes()))
 	r := p.root()
+	if t := r.spill.Load(); t != nil {
+		if t.drop(b) {
+			return // spilled: gauge already settled, data lives on disk only
+		}
+	}
+	p.subLive(int64(b.AllocBytes()))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	sz := b.AllocBytes()

@@ -31,6 +31,14 @@ type RunMetrics struct {
 	Failed bool          `json:"failed,omitempty"`
 	Ops    []OpMetrics   `json:"ops"`
 	Edges  []EdgeMetrics `json:"edges"`
+
+	// Spill-tier aggregates (zero without a spill tier): scheduler-marked
+	// evictions/fault-ins and the read-through stall deliveries paid.
+	SpillBlocksOut int64 `json:"spill_blocks_out,omitempty"`
+	SpillBytesOut  int64 `json:"spill_bytes_out,omitempty"`
+	SpillBlocksIn  int64 `json:"spill_blocks_in,omitempty"`
+	SpillBytesIn   int64 `json:"spill_bytes_in,omitempty"`
+	SpillStallNS   int64 `json:"spill_stall_ns,omitempty"`
 }
 
 // OpMetrics aggregates one operator's work-order spans.
@@ -84,7 +92,12 @@ func (t *Tracer) Snapshot() Metrics {
 	defer t.mu.Unlock()
 	m := Metrics{CapturedEvents: t.n, DroppedEvents: t.dropped}
 	for _, r := range t.runs {
-		rm := RunMetrics{Run: int(r.pid), Query: int(r.query), Label: r.label, Workers: r.workers, Failed: r.failed}
+		rm := RunMetrics{
+			Run: int(r.pid), Query: int(r.query), Label: r.label, Workers: r.workers, Failed: r.failed,
+			SpillBlocksOut: r.spillBlocksOut, SpillBytesOut: r.spillBytesOut,
+			SpillBlocksIn: r.spillBlocksIn, SpillBytesIn: r.spillBytesIn,
+			SpillStallNS: r.spillStallNS,
+		}
 		if r.endNS > r.beginNS {
 			rm.WallNS = r.endNS - r.beginNS
 		}
@@ -255,6 +268,20 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 					add(edgeLabel(e), e.UoT)
 				}
 			}
+		})
+	emit("uot_spill_blocks_total", "Temp blocks moved between RAM and the spill tier, by direction.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`dir="out"`, run.SpillBlocksOut)
+			add(`dir="in"`, run.SpillBlocksIn)
+		})
+	emit("uot_spill_bytes_total", "Extent-file bytes written (evictions) and read (fault-ins).", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`dir="out"`, run.SpillBytesOut)
+			add(`dir="in"`, run.SpillBytesIn)
+		})
+	emit("uot_spill_stall_nanoseconds_total", "Delivery wall time spent blocked on spill fault-in.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`kind="fault_in"`, run.SpillStallNS)
 		})
 	_, err := io.WriteString(w, sb.String())
 	return err

@@ -72,6 +72,16 @@ const (
 	// ceiling — the terminal blocking regime, distinct from MarkUoTRaise so
 	// plots can attribute regime switches.
 	MarkUoTSnap
+	// MarkSpill: the spill tier evicted cold temp blocks to disk after a
+	// scheduler-side pressure event (Rows carries the blocks written in the
+	// round, RowsOut the bytes). Worker-side evictions triggered from
+	// CheckOut are counted in the tier's own totals but not marked — the
+	// scheduler is the only goroutine that may touch the tracer section.
+	MarkSpill
+	// MarkSpillFaultIn: a delivery blocked while spilled blocks were read
+	// back in (Rows carries the blocks faulted in, RowsOut the bytes,
+	// StallNS the read-through stall the consumer paid).
+	MarkSpillFaultIn
 )
 
 // Span flag bits.
@@ -177,6 +187,12 @@ type runMeta struct {
 	endNS   int64
 	failed  bool
 	workers int
+
+	// Spill aggregates, maintained outside the ring like the op/edge
+	// aggregates so snapshots stay exact when the ring wraps.
+	spillBlocksOut, spillBytesOut int64
+	spillBlocksIn, spillBytesIn   int64
+	spillStallNS                  int64
 }
 
 // Tracer is the event sink. The zero value is not usable; construct with
@@ -442,7 +458,19 @@ func (t *Tracer) MarkIn(h int32, code MarkCode, e Event) {
 	e.Kind = KindMark
 	e.Mark = code
 	t.mu.Lock()
-	t.recordLocked(t.section(h), e)
+	r := t.section(h)
+	if r != nil {
+		switch code {
+		case MarkSpill:
+			r.spillBlocksOut += e.Rows
+			r.spillBytesOut += e.RowsOut
+		case MarkSpillFaultIn:
+			r.spillBlocksIn += e.Rows
+			r.spillBytesIn += e.RowsOut
+			r.spillStallNS += e.StallNS
+		}
+	}
+	t.recordLocked(r, e)
 	t.mu.Unlock()
 }
 

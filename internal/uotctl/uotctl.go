@@ -111,6 +111,11 @@ type Config struct {
 	// DisablePrior starts cold edges at DefaultUoT instead of the
 	// analytical-model prior.
 	DisablePrior bool
+	// SpillBudget, when positive, is the RAM threshold of an attached spill
+	// tier: the prior then prices the Section V-C persistent-store costs in
+	// (see PriorWithSpill), starting cold edges finer because a deep
+	// backlog is no longer just cache misses but device round trips.
+	SpillBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +175,9 @@ type Signals struct {
 	QueueDepth int
 	// MemPressure reports whether live temporary bytes exceed the budget.
 	MemPressure bool
+	// FaultedIn is how many of the delivered blocks had to be read back
+	// from the spill tier's disk extents before this delivery could happen.
+	FaultedIn int
 }
 
 // Action is a controller decision: the direction taken and the edge's UoT
@@ -207,6 +215,9 @@ func New(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg}
 	start := Prior(cfg.BlockBytes, cfg.Workers)
+	if cfg.SpillBudget > 0 {
+		start = PriorWithSpill(cfg.BlockBytes, cfg.Workers, cfg.SpillBudget)
+	}
 	if cfg.DisablePrior {
 		start = cfg.DefaultUoT
 	}
@@ -301,6 +312,15 @@ func (c *Controller) vote(e *edge, s Signals) Dir {
 	// at this granularity, or a scheduler queue saturated far past the
 	// worker count (the heavy-concurrency regime of Figs. 9/10, where
 	// per-delivery overhead dominates).
+	// Finest first: delivered blocks that had to be faulted in from disk
+	// mean this edge's backlog outgrew RAM, and Section V-C's answer is to
+	// pipeline — every buffered block is a potential device round trip, so
+	// the spill-rate gauge outvotes even memory pressure (a raise would
+	// deepen the very backlog that is spilling). Deliberately not gated by
+	// pressureHold: the pressure raise is usually what caused the spill.
+	if s.FaultedIn > 0 && e.uot > c.cfg.Floor {
+		return Lower
+	}
 	if s.MemPressure {
 		return Raise
 	}
@@ -392,6 +412,22 @@ func clamp(v, lo, hi int) int {
 // blend saturates and larger groups stop paying, matching the paper's
 // "indistinguishable at 2 MB" observation.
 func Prior(blockBytes, workers int) int {
+	return priorScan(blockBytes, workers, 0)
+}
+
+// PriorWithSpill is Prior with the Section V-C persistent store priced in:
+// each candidate group size additionally pays the expected spill penalty
+// (costmodel.SpillCost — eviction probability under the RAM budget times the
+// device round trip). Large groups that the in-memory model tolerates become
+// expensive once they risk touching the store, so the spill-aware prior is
+// never coarser than the in-memory one — the paper's "with a persistent
+// store, pipelining wins by orders of magnitude" translated into a starting
+// point.
+func PriorWithSpill(blockBytes, workers int, spillBudget int64) int {
+	return priorScan(blockBytes, workers, spillBudget)
+}
+
+func priorScan(blockBytes, workers int, spillBudget int64) int {
 	if blockBytes <= 0 {
 		blockBytes = 128 << 10
 	}
@@ -405,6 +441,9 @@ func Prior(blockBytes, workers int) int {
 		w := p.P1Prime()
 		cost := ((1-w)*p.LowRegime().LowUoTExtra() + w*p.HighRegime().HighUoTExtra()) /
 			float64(p.B)
+		if spillBudget > 0 {
+			cost += costmodel.SpillCost(p.B, workers, spillBudget) / float64(p.B)
+		}
 		if cost < bestCost {
 			best, bestCost = blocks, cost
 		}

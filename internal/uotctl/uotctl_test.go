@@ -251,3 +251,75 @@ func TestDirString(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultedInVotesLower(t *testing.T) {
+	c := New(testCfg())
+	e := c.AddEdge(16)
+	// Spill fault-ins vote Lower through the usual hysteresis (2 here).
+	spilled := Signals{Delivered: 4, FaultedIn: 2, IntervalNS: 1000}
+	if a := c.Observe(e, spilled); a.Dir != Hold {
+		t.Fatalf("first spilled delivery acted immediately: %v", a.Dir)
+	}
+	if a := c.Observe(e, spilled); a.Dir != Lower || a.UoT != 8 {
+		t.Fatalf("streak of spilled deliveries: got %v/%d, want lower/8", a.Dir, a.UoT)
+	}
+}
+
+func TestFaultedInOutvotesPressureHold(t *testing.T) {
+	c := New(testCfg())
+	e := c.AddEdge(16)
+	// A pressure raise arms the Lower suppression...
+	if a := c.Pressure(e); a.Dir != Raise || a.UoT != 32 {
+		t.Fatalf("pressure: %v/%d", a.Dir, a.UoT)
+	}
+	// ...but spill fault-ins lower anyway: the raise is what caused the
+	// spilling, so the stall-based suppression must not apply. One cooldown
+	// observation follows the pressure action, then hysteresis-2 votes.
+	spilled := Signals{Delivered: 4, FaultedIn: 1, IntervalNS: 1000, MemPressure: true}
+	c.Observe(e, spilled) // cooldown
+	c.Observe(e, spilled) // streak 1
+	if a := c.Observe(e, spilled); a.Dir != Lower || a.UoT != 16 {
+		t.Fatalf("spill under pressure hold: got %v/%d, want lower/16", a.Dir, a.UoT)
+	}
+}
+
+func TestFaultedInHoldsAtFloor(t *testing.T) {
+	c := New(testCfg())
+	e := c.AddEdge(1) // already at the floor: nothing finer to try
+	spilled := Signals{Delivered: 1, FaultedIn: 1, IntervalNS: 1000}
+	for i := 0; i < 5; i++ {
+		if a := c.Observe(e, spilled); a.Dir != Hold {
+			t.Fatalf("obs %d: %v at the floor", i, a.Dir)
+		}
+	}
+}
+
+func TestPriorWithSpillNeverCoarser(t *testing.T) {
+	for _, bb := range []int{64 << 10, 128 << 10, 512 << 10} {
+		for _, w := range []int{1, 4, 20} {
+			base := Prior(bb, w)
+			for _, budget := range []int64{1 << 20, 32 << 20, 1 << 30} {
+				sp := PriorWithSpill(bb, w, budget)
+				if sp > base {
+					t.Fatalf("PriorWithSpill(%d,%d,%d) = %d coarser than Prior = %d",
+						bb, w, budget, sp, base)
+				}
+				if sp < 1 || sp > 1024 {
+					t.Fatalf("PriorWithSpill out of range: %d", sp)
+				}
+			}
+		}
+	}
+	// A tight budget must pin the prior to single blocks: every extra
+	// buffered block is a likely device round trip.
+	if p := PriorWithSpill(128<<10, 4, 1<<20); p != 1 {
+		t.Fatalf("tight-budget spill prior = %d, want 1", p)
+	}
+	// New() with SpillBudget seeds from the spill-aware scan.
+	cfg := testCfg()
+	cfg.DisablePrior = false
+	cfg.SpillBudget = 1 << 20
+	if c := New(cfg); c.Prior() != 1 {
+		t.Fatalf("controller spill prior = %d, want 1", c.Prior())
+	}
+}
