@@ -76,7 +76,8 @@ func main() {
 	micro := flag.Bool("micro", false, "run the hot-path micro-benchmark suite instead of the experiments")
 	serve := flag.Bool("serve", false, "run the closed-loop serving sweep (1/4/16 clients) instead of the experiments")
 	spill := flag.Bool("spill", false, "run the spill-threshold sweep (RAM at 1, 1/2, 1/4, 1/8 of peak) instead of the experiments")
-	jsonPath := flag.String("json", "", "with -micro, -serve, or -spill: write the machine-readable results to this file")
+	reuseFlag := flag.Bool("reuse", false, "run the repeated-mix cross-query cache comparison (cache off vs on) instead of the experiments")
+	jsonPath := flag.String("json", "", "with -micro, -serve, -spill, or -reuse: write the machine-readable results to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the traced experiments (FIG2, FIG3) to this file")
 	metricsPath := flag.String("metrics", "", "write the tracer's aggregate metrics snapshot as JSON to this file")
 	promPath := flag.String("prom", "", "write the tracer's aggregate metrics snapshot as Prometheus text to this file")
@@ -108,6 +109,23 @@ func main() {
 
 	if *spill {
 		rep, err := bench.RunSpill(bench.Config{SF: *sf, Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return
+	}
+
+	if *reuseFlag {
+		rep, err := bench.RunReuse(bench.Config{SF: *sf, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

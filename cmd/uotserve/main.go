@@ -6,6 +6,7 @@
 //
 //	uotserve [-addr :8080] [-sf 0.05] [-workers 8] [-concurrent 4]
 //	         [-queue 8] [-budget-mb 256] [-uot 1] [-lip]
+//	         [-reuse] [-reuse-dir DIR]
 //
 // Endpoints:
 //
@@ -14,7 +15,8 @@
 //	    success, 429 when shed (queue full / over budget), 504 on a blown
 //	    deadline, 400/500 otherwise.
 //	GET /stats
-//	    Admission counters, occupancy, and live memory as JSON.
+//	    Admission counters, occupancy, live memory, and (with -reuse) the
+//	    result cache's hit/admission/eviction counters as JSON.
 //	GET /metrics
 //	    Prometheus-style metrics scrape of the shared tracer.
 package main
@@ -54,6 +56,8 @@ func main() {
 	budgetMB := flag.Int64("budget-mb", 256, "global temporary-block budget (MiB)")
 	uotBlocks := flag.Int("uot", 1, "default unit of transfer in blocks")
 	lip := flag.Bool("lip", false, "build plans with LIP bloom filters")
+	reuseOn := flag.Bool("reuse", false, "enable the cross-query result cache (budget: a quarter of -budget-mb)")
+	reuseDir := flag.String("reuse-dir", "", "with -reuse: directory for cooling cold cache entries to disk")
 	flag.Parse()
 
 	log.Printf("loading TPC-H SF=%g ...", *sf)
@@ -66,6 +70,8 @@ func main() {
 		MemoryBudget:  *budgetMB << 20,
 		UoTBlocks:     *uotBlocks,
 		Trace:         tr,
+		Reuse:         *reuseOn,
+		ReuseDir:      *reuseDir,
 	})
 	s := &server{data: data, sess: sess, tr: tr, lip: *lip, start: time.Now()}
 
@@ -164,6 +170,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"queued":         waiting,
 		"reserved_bytes": reserved,
 		"live_bytes":     s.sess.Live(),
+		"reuse":          s.sess.ReuseStats(),
 	})
 }
 

@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"SERVE", "concurrent serving: admission control, shedding, isolation", (*Harness).Serve},
 		{"CCHAOS", "concurrent serving under seeded fault injection", (*Harness).ConcurrentChaos},
 		{"SPILL", "disk-backed spill tier: goldens at 25% RAM, zero leaks", (*Harness).Spill},
+		{"REUSE", "cross-query result cache: warm-hit speedup, golden equivalence", (*Harness).ReuseCache},
 	}
 }
 

@@ -24,7 +24,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 28 {
+	if len(exps) != 29 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/reuse"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// reuseClients/reusePerClient shape the repeated-mix workload: each client
+// cycles the four-query mix, so after the first round every plan fingerprint
+// is resident and the remaining submissions are warm hits.
+const (
+	reuseClients   = 4
+	reusePerClient = 8
+)
+
+// reusePhase runs the closed-loop repeated mix once, with or without the
+// cross-query cache, golden-checking every completed result bit-exactly.
+func (h *Harness) reusePhase(d *tpch.Dataset, golden map[int]string, withCache bool) (serveOutcome, session.Counters, reuseStatsSnapshot, error) {
+	sess := session.Open(session.Config{
+		Workers:       h.cfg.Workers,
+		MaxConcurrent: 4,
+		QueueDepth:    reuseClients * reusePerClient,
+		MemoryBudget:  1 << 30,
+		Reuse:         withCache,
+	})
+	out, loopErr := serveLoop(sess, d, golden, reuseClients, reusePerClient)
+	stats := reuseStatsSnapshot{Counters: sess.ReuseStats()}
+	stats.Live, stats.Partials = sess.Live(), int64(sess.PendingPartials())
+	ctr := sess.Counters()
+	sess.Close()
+	if loopErr != nil {
+		return out, ctr, stats, loopErr
+	}
+	if stats.Live != 0 || stats.Partials != 0 {
+		return out, ctr, stats, fmt.Errorf("leaked %d live bytes, %d partials after drain", stats.Live, stats.Partials)
+	}
+	if stats.Pins != 0 {
+		return out, ctr, stats, fmt.Errorf("%d cache pins outstanding after drain", stats.Pins)
+	}
+	return out, ctr, stats, nil
+}
+
+func (s reuseStatsSnapshot) hitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// ReuseCache is the REUSE experiment: the four-query mix submitted repeatedly
+// (4 clients × 8 queries) through the serving layer, once without and once
+// with the cross-query result cache. Every completed result — cold or
+// cache-served — must be bit-identical to the single-query golden run; the
+// warm phase must hit the cache and beat the cold phase's throughput by at
+// least 1.5×.
+func (h *Harness) ReuseCache() (*Report, error) {
+	r := &Report{
+		ID:    "REUSE",
+		Title: "Cross-query result cache: repeated mix, warm-hit speedup",
+		Header: []string{
+			"cache", "done", "hits", "hit_rate", "qps", "p50_ms", "p95_ms", "result", "leaks",
+		},
+	}
+	d := h.Dataset(128<<10, storage.ColumnStore)
+	golden, _, err := h.serveGolden(d)
+	if err != nil {
+		return nil, fmt.Errorf("REUSE: %w", err)
+	}
+
+	var qps [2]float64
+	for i, withCache := range []bool{false, true} {
+		name := "off"
+		if withCache {
+			name = "on"
+		}
+		out, _, stats, err := h.reusePhase(d, golden, withCache)
+		if err != nil {
+			return nil, fmt.Errorf("REUSE cache-%s: %w", name, err)
+		}
+		want := reuseClients * reusePerClient
+		if out.completed != want {
+			return nil, fmt.Errorf("REUSE cache-%s: %d of %d queries completed", name, out.completed, want)
+		}
+		qps[i] = out.qps()
+		r.AddRow(
+			name,
+			fmt.Sprintf("%d", out.completed),
+			fmt.Sprintf("%d", stats.Hits),
+			fmt.Sprintf("%.2f", stats.hitRate()),
+			fmt.Sprintf("%.1f", out.qps()),
+			fmt.Sprintf("%.2f", pctMS(out.latencies, 0.50)),
+			fmt.Sprintf("%.2f", pctMS(out.latencies, 0.95)),
+			pass(true), // serveLoop fails hard on any checksum mismatch
+			fmt.Sprintf("%d", stats.Live+stats.Partials),
+		)
+		if withCache && stats.Hits == 0 {
+			return nil, fmt.Errorf("REUSE cache-on: repeated mix never hit the cache")
+		}
+		if !withCache && stats.Hits+stats.Misses != 0 {
+			return nil, fmt.Errorf("REUSE cache-off: cache consulted with reuse disabled")
+		}
+	}
+	speedup := qps[1] / qps[0]
+	if speedup < 1.5 {
+		return nil, fmt.Errorf("REUSE: cache-on qps %.1f is only %.2fx cache-off %.1f, want >= 1.5x",
+			qps[1], speedup, qps[0])
+	}
+	r.Note("mix %v, %d clients × %d queries; warm results bit-identical (sha256 over hex-float rows) to single-query goldens", serveQueries, reuseClients, reusePerClient)
+	r.Note("cache-on throughput %.2fx cache-off; per-query workers = 1 on both sides", speedup)
+	return r, nil
+}
+
+// reuseStatsSnapshot widens the cache counters with the session drain gauges
+// the leak checks read.
+type reuseStatsSnapshot struct {
+	reuse.Counters
+	Live     int64
+	Partials int64
+}
+
+// ReusePoint is one phase measurement in the reuse artifact.
+type ReusePoint struct {
+	Cache         string  `json:"cache"`
+	Queries       int     `json:"queries"`
+	Completed     int     `json:"completed"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	HitRate       float64 `json:"hit_rate"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+}
+
+// ReuseReport is the machine-readable reuse artifact (BENCH_PR10.json).
+type ReuseReport struct {
+	Suite     string       `json:"suite"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	SF        float64      `json:"sf"`
+	Workers   int          `json:"workers"`
+	Mix       []int        `json:"mix"`
+	Clients   int          `json:"clients"`
+	PerClient int          `json:"per_client"`
+	Points    []ReusePoint `json:"points"`
+	SpeedupX  float64      `json:"speedup_x"`
+}
+
+// String renders the artifact as a table.
+func (m *ReuseReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cross-query reuse (SF %g, %d workers, mix %v, %d clients × %d queries)\n",
+		m.SF, m.Workers, m.Mix, m.Clients, m.PerClient)
+	fmt.Fprintf(&sb, "%8s %8s %8s %8s %9s %10s %8s %8s\n",
+		"cache", "queries", "done", "hits", "hit_rate", "qps", "p50_ms", "p95_ms")
+	for _, p := range m.Points {
+		fmt.Fprintf(&sb, "%8s %8d %8d %8d %9.2f %10.1f %8.2f %8.2f\n",
+			p.Cache, p.Queries, p.Completed, p.CacheHits, p.HitRate, p.ThroughputQPS, p.P50MS, p.P95MS)
+	}
+	fmt.Fprintf(&sb, "cache-on speedup: %.2fx\n", m.SpeedupX)
+	return sb.String()
+}
+
+// WriteJSON writes the artifact to path.
+func (m *ReuseReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunReuse measures the repeated-mix workload with the cross-query cache off
+// and on (golden-checked like the REUSE experiment) and reports the warm-hit
+// speedup.
+func RunReuse(cfg Config) (*ReuseReport, error) {
+	cfg = cfg.withDefaults()
+	h := New(cfg)
+	d := h.Dataset(128<<10, storage.ColumnStore)
+	golden, _, err := h.serveGolden(d)
+	if err != nil {
+		return nil, fmt.Errorf("reuse artifact: %w", err)
+	}
+	rep := &ReuseReport{
+		Suite:     "reuse",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		SF:        cfg.SF,
+		Workers:   cfg.Workers,
+		Mix:       serveQueries,
+		Clients:   reuseClients,
+		PerClient: reusePerClient,
+	}
+	for _, withCache := range []bool{false, true} {
+		name := "off"
+		if withCache {
+			name = "on"
+		}
+		out, _, stats, err := h.reusePhase(d, golden, withCache)
+		if err != nil {
+			return nil, fmt.Errorf("reuse artifact cache-%s: %w", name, err)
+		}
+		rep.Points = append(rep.Points, ReusePoint{
+			Cache:         name,
+			Queries:       reuseClients * reusePerClient,
+			Completed:     out.completed,
+			CacheHits:     stats.Hits,
+			CacheMisses:   stats.Misses,
+			HitRate:       stats.hitRate(),
+			ThroughputQPS: out.qps(),
+			P50MS:         pctMS(out.latencies, 0.50),
+			P95MS:         pctMS(out.latencies, 0.95),
+		})
+	}
+	if rep.Points[0].ThroughputQPS > 0 {
+		rep.SpeedupX = rep.Points[1].ThroughputQPS / rep.Points[0].ThroughputQPS
+	}
+	return rep, nil
+}

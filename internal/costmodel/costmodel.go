@@ -296,3 +296,33 @@ func SpillCost(B int64, T int, M int64) float64 {
 	s := DefaultStore(1)
 	return SpillProb(B, T, M) * float64(s.RStore+s.WStore) * float64(B) / float64(storeRefUoT)
 }
+
+// RecomputeCost estimates the ticks to recompute a materialized
+// intermediate of the given byte size produced by a subplan of nOps
+// operators: every operator level at minimum streams its input in
+// (prefetched sequential read, AR_L3 per line) and writes its output back
+// to memory (W_mem per line), so the floor is nOps read+write passes over
+// the result's bytes. Deliberately a conservative lower bound — hash
+// probes, aggregations, and sorts cost strictly more — used by
+// internal/reuse as the Dursun-style benefit numerator (recompute ticks
+// saved per cached byte).
+func RecomputeCost(bytes int64, nOps int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if nOps < 1 {
+		nOps = 1
+	}
+	p := Default(bytes, 1)
+	lines := float64(bytes) / float64(p.LineBytes)
+	return float64(nOps) * lines * float64(p.ARL3Line+p.WMemLine)
+}
+
+// ReloadCost estimates the ticks to fault a cooled cache entry of the given
+// byte size back in from the persistent store (one store read per 128 KB
+// reference UoT — the REMOP rule: a cached block is priced by where it
+// lives, so internal/reuse discounts a cooled entry's benefit by this).
+func ReloadCost(bytes int64) float64 {
+	s := DefaultStore(1)
+	return float64(s.RStore) * float64(bytes) / float64(storeRefUoT)
+}

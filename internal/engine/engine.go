@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/faults"
+	"repro/internal/reuse"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -104,6 +105,13 @@ type Options struct {
 	// TraceLabel names this execution's section in the trace ("Q3 uot=4").
 	TraceLabel string
 
+	// Reuse, if non-nil, is the cross-query result cache (see internal/reuse):
+	// before the run, cached subplan results are spliced into the plan in
+	// place of the subtrees that would recompute them; after a successful
+	// run, results the plan materialized anyway are offered back. Partitioned
+	// plans bypass the cache entirely.
+	Reuse *reuse.Cache
+
 	// Exec, if non-nil, runs this query's work orders on a worker pool
 	// shared across concurrent queries instead of per-query goroutines;
 	// Workers then caps the query's in-flight work orders. See
@@ -149,6 +157,7 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 	if b.collect == nil {
 		return nil, fmt.Errorf("engine: plan has no Collect sink")
 	}
+	rs := prepareReuse(b, opts)
 	run := stats.NewRun()
 	serving := opts.Exec != nil || opts.SharedPool != nil
 	var pool *storage.Pool
@@ -183,6 +192,10 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		traceRun = opts.Trace.OpenRun(opts.TraceLabel, opts.QueryID)
 	} else {
 		opts.Trace.StartRun(opts.TraceLabel)
+	}
+	if rs != nil && rs.hit {
+		opts.Trace.MarkIn(traceRun, trace.MarkReuseHit,
+			trace.Event{Rows: rs.splicedOps, RowsOut: rs.hitBytes})
 	}
 	ctx := &core.ExecCtx{
 		Pool:           pool,
@@ -254,6 +267,9 @@ func Execute(b *Builder, opts Options) (*Result, error) {
 		if cerr := pool.CloseSpill(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if rs != nil {
+		rs.finalize(b, pool, run, err == nil)
 	}
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/reuse"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -40,6 +41,10 @@ type mmCfg struct {
 	// through the block codec and fault-in reordering are pure storage
 	// mechanics, so results must be bit-identical to the in-RAM base run.
 	Spill int64
+	// Reuse runs the plan twice through a fresh cross-query result cache and
+	// reports the warm (cache-served) result: splicing a cached subtree in
+	// place of its recomputation must never change a single bit.
+	Reuse bool
 }
 
 func (c mmCfg) String() string {
@@ -47,8 +52,8 @@ func (c mmCfg) String() string {
 	if c.UoT == core.UoTTable {
 		uot = "table"
 	}
-	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d adaptive=%v spill=%d",
-		c.Workers, uot, c.Temp, c.Parts, c.Adaptive, c.Spill)
+	return fmt.Sprintf("workers=%d uot=%s temp=%d parts=%d adaptive=%v spill=%d reuse=%v",
+		c.Workers, uot, c.Temp, c.Parts, c.Adaptive, c.Spill, c.Reuse)
 }
 
 var mmBase = mmCfg{Workers: 1, UoT: 1, Temp: 16 << 10}
@@ -77,6 +82,10 @@ var mmVariants = []mmCfg{
 	{Workers: 4, UoT: 16, Temp: 4 << 10, Spill: 32 << 10},
 	{Workers: 2, UoT: 8, Temp: 16 << 10, Parts: 2, Spill: 8 << 10},
 	{Workers: 7, UoT: 64, Temp: 16 << 10, Adaptive: true, Spill: 1},
+	{Workers: 1, UoT: 1, Temp: 16 << 10, Reuse: true},
+	{Workers: 7, UoT: 16, Temp: 4 << 10, Reuse: true},
+	{Workers: 2, UoT: 3, Temp: 16 << 10, Parts: 2, Reuse: true},
+	{Workers: 4, UoT: 64, Temp: 16 << 10, Adaptive: true, Reuse: true},
 }
 
 // mmSpec is a fully-resolved random plan: data shape and operator choices.
@@ -257,6 +266,16 @@ func (s *mmSpec) runEncoded(cfg mmCfg) (string, error) {
 		defer os.RemoveAll(dir)
 		opts.SpillDir, opts.SpillThreshold = dir, cfg.Spill
 	}
+	if cfg.Reuse {
+		// Cold fill, then report the warm run: the result the cache serves is
+		// the one compared against every other configuration. (Partitioned
+		// plans bypass the cache; the warm run then just recomputes.)
+		cache := reuse.New(reuse.Config{Budget: 16 << 20})
+		opts.Reuse = cache
+		if _, err := engine.Execute(s.build(cfg.Parts), opts); err != nil {
+			return "", err
+		}
+	}
 	res, err := engine.Execute(s.build(cfg.Parts), opts)
 	if err != nil {
 		return "", err
@@ -279,6 +298,7 @@ func (s *mmSpec) shrinkConfig(t *testing.T, failing mmCfg, want string) mmCfg {
 			func(c mmCfg) mmCfg { c.Parts = mmBase.Parts; return c },
 			func(c mmCfg) mmCfg { c.Adaptive = mmBase.Adaptive; return c },
 			func(c mmCfg) mmCfg { c.Spill = mmBase.Spill; return c },
+			func(c mmCfg) mmCfg { c.Reuse = mmBase.Reuse; return c },
 		} {
 			trial := reduce(cur)
 			if trial == cur {

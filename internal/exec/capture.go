@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// CaptureOp is a passive tap the engine attaches to a fingerprinted
+// interior node whose result the reuse cache wants: it is wired as one more
+// pipelined consumer of the node, copying every delivered row into blocks
+// of its own so the original data flow — refcounts, releases, adoption —
+// is untouched. The copies are checked out of the run's pool (so they are
+// accounted live while the run is in flight) but never checked in or
+// emitted:
+//
+//   - on success the engine calls Take, disowns the bytes from the pool,
+//     and hands the block set to the cache — the entry becomes a pinned,
+//     immutable table;
+//   - on abort the scheduler's cleanup collects the copies through
+//     AbandonAdopted and releases them, so a failed run leaves no
+//     partially-visible entry.
+//
+// Capture work orders copy rows with no emitter, no fault sites, and no
+// interruption points, so they can never fail or be retried — the rollback
+// machinery never sees them. The engine caps the operator at MaxDOP 1;
+// the mutex is belt-and-braces for the scheduler-side finalizers.
+type CaptureOp struct {
+	core.Base
+	self     core.OpID
+	schema   *storage.Schema
+	identity []int // identity projection, 0..NumCols-1
+	maxBytes int64
+
+	mu         sync.Mutex
+	blocks     []*storage.Block
+	cur        *storage.Block
+	bytes      int64
+	rows       int64
+	overflowed bool
+}
+
+// NewCapture builds a capture tap for a producer with the given output
+// schema. maxBytes caps the copied set: past it the capture abandons itself
+// (releasing what it copied) rather than bloat the run, and Take returns
+// nil.
+func NewCapture(schema *storage.Schema, maxBytes int64) *CaptureOp {
+	idx := make([]int, schema.NumCols())
+	for i := range idx {
+		idx[i] = i
+	}
+	return &CaptureOp{schema: schema, identity: idx, maxBytes: maxBytes}
+}
+
+func (o *CaptureOp) setID(id core.OpID) { o.self = id }
+
+// Name implements core.Operator.
+func (o *CaptureOp) Name() string { return "capture" }
+
+// NumInputs implements core.Operator.
+func (o *CaptureOp) NumInputs() int { return 1 }
+
+// Feed implements core.Operator: one copy work order per delivery.
+func (o *CaptureOp) Feed(_ *core.ExecCtx, _ int, blocks []*storage.Block) []core.WorkOrder {
+	return []core.WorkOrder{&captureWO{op: o, blocks: blocks}}
+}
+
+// Cleanup implements core.Operator: on the success path it finalizes the
+// tail block (scheduler goroutine, after every work order completed).
+func (o *CaptureOp) Cleanup(ctx *core.ExecCtx) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cur == nil {
+		return
+	}
+	if o.cur.NumRows() > 0 {
+		o.blocks = append(o.blocks, o.cur)
+	} else {
+		o.bytes -= int64(o.cur.AllocBytes())
+		ctx.Pool.Release(o.cur)
+	}
+	o.cur = nil
+}
+
+// AbandonAdopted implements core.AdoptingOperator for the abort path: the
+// copied blocks go back to the scheduler's cleanup for release. (The
+// operator does not adopt its INPUT blocks — AdoptsInputs stays false so
+// the producer's refcount flow is unchanged — but its copies are
+// operator-owned blocks only it knows about, exactly what this hook
+// surrenders.)
+func (o *CaptureOp) AbandonAdopted() []*storage.Block {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	bs := o.blocks
+	if o.cur != nil {
+		bs = append(bs, o.cur)
+	}
+	o.blocks, o.cur, o.bytes, o.rows = nil, nil, 0, 0
+	o.overflowed = true // a half-captured set must never be admitted
+	return bs
+}
+
+// Take returns the captured block set with its byte and row totals,
+// resetting the operator. It returns nil blocks if the capture overflowed
+// its byte cap (or was abandoned). The caller owns the blocks and must
+// Disown their bytes from the pool before handing them to the cache.
+func (o *CaptureOp) Take() (blocks []*storage.Block, bytes, rows int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.overflowed {
+		return nil, 0, 0
+	}
+	blocks, bytes, rows = o.blocks, o.bytes, o.rows
+	o.blocks, o.cur, o.bytes, o.rows = nil, nil, 0, 0
+	return blocks, bytes, rows
+}
+
+type captureWO struct {
+	op     *CaptureOp
+	blocks []*storage.Block
+}
+
+// Inputs implements core.WorkOrder: the delivered blocks are refcounted
+// intermediates, released by the scheduler once the copy completed.
+func (w *captureWO) Inputs() []*storage.Block { return w.blocks }
+
+// Run implements core.WorkOrder.
+func (w *captureWO) Run(ctx *core.ExecCtx, out *core.Output) error {
+	o := w.op
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.overflowed {
+		return nil
+	}
+	for _, b := range w.blocks {
+		n := b.NumRows()
+		for r := 0; r < n; r++ {
+			if o.cur == nil {
+				if o.maxBytes > 0 && o.bytes >= o.maxBytes {
+					o.abandonLocked(ctx)
+					return nil
+				}
+				o.cur = ctx.Pool.CheckOut(int(o.self), o.schema, ctx.TempFormat, ctx.TempBlockBytes)
+				o.bytes += int64(o.cur.AllocBytes())
+			}
+			if !o.cur.AppendFrom(b, r, o.identity) {
+				o.blocks = append(o.blocks, o.cur)
+				o.cur = nil
+				r--
+				continue
+			}
+			o.rows++
+		}
+	}
+	return nil
+}
+
+// abandonLocked releases everything copied so far and marks the capture
+// overflowed; subsequent deliveries are dropped without copying.
+func (o *CaptureOp) abandonLocked(ctx *core.ExecCtx) {
+	for _, b := range o.blocks {
+		ctx.Pool.Release(b)
+	}
+	if o.cur != nil {
+		ctx.Pool.Release(o.cur)
+	}
+	o.blocks, o.cur, o.bytes, o.rows = nil, nil, 0, 0
+	o.overflowed = true
+}

@@ -1,0 +1,324 @@
+package reuse
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func mkTable(t *testing.T, name string, rows int) *storage.Table {
+	t.Helper()
+	sch := storage.NewSchema(storage.Column{Name: "a", Type: types.Int64})
+	tab := storage.NewTable(name, sch, storage.RowStore, 1<<10)
+	blk := storage.NewBlock(sch, storage.RowStore, 1<<10)
+	for i := 0; i < rows; i++ {
+		if !blk.AppendRow(types.NewInt64(int64(i))) {
+			tab.Append(blk)
+			blk = storage.NewBlock(sch, storage.RowStore, 1<<10)
+			blk.AppendRow(types.NewInt64(int64(i)))
+		}
+	}
+	if blk.NumRows() > 0 {
+		tab.Append(blk)
+	}
+	return tab
+}
+
+func fpN(n byte) Fingerprint {
+	var f Fingerprint
+	f[0] = n
+	return f
+}
+
+func depsOf(tabs ...*storage.Table) []Dep {
+	out := make([]Dep, len(tabs))
+	for i, tb := range tabs {
+		out[i] = Dep{Table: tb, Version: tb.Version()}
+	}
+	return out
+}
+
+func TestCacheAdmitLookup(t *testing.T) {
+	base := mkTable(t, "base", 1)
+	res := mkTable(t, "res", 10)
+	c := New(Config{Budget: 1 << 20})
+	if !c.Admit(fpN(1), res, depsOf(base), 0, 3) {
+		t.Fatal("admit rejected")
+	}
+	e := c.Lookup(fpN(1))
+	if e == nil {
+		t.Fatal("lookup missed")
+	}
+	if e.Table() != res {
+		t.Error("hit returned a different table")
+	}
+	if e.Rows() != 10 {
+		t.Errorf("rows = %d, want 10", e.Rows())
+	}
+	if c.Lookup(fpN(2)) != nil {
+		t.Error("unknown fingerprint hit")
+	}
+	e.Release()
+	ctr := c.Counters()
+	if ctr.Hits != 1 || ctr.Misses != 1 || ctr.Admissions != 1 || ctr.Pins != 0 {
+		t.Errorf("counters = %+v", ctr)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheAdmitRejectsOversizeAndDuplicates(t *testing.T) {
+	res := mkTable(t, "res", 10)
+	bytes := res.AllocBytes()
+	c := New(Config{Budget: 4 * bytes, MaxEntryBytes: bytes - 1})
+	if c.Admit(fpN(1), res, nil, 0, 1) {
+		t.Error("entry over MaxEntryBytes admitted")
+	}
+	c2 := New(Config{Budget: 4 * bytes})
+	if !c2.Admit(fpN(1), res, nil, 0, 1) {
+		t.Fatal("admit rejected")
+	}
+	if c2.Admit(fpN(1), mkTable(t, "res2", 10), nil, 0, 1) {
+		t.Error("duplicate fingerprint admitted")
+	}
+	if got := c2.Counters().RejectedAdmissions; got != 1 {
+		t.Errorf("RejectedAdmissions = %d, want 1", got)
+	}
+}
+
+func TestCacheBenefitRankedEviction(t *testing.T) {
+	low := mkTable(t, "low", 20)
+	high := mkTable(t, "high", 20)
+	bytes := low.AllocBytes()
+	c := New(Config{Budget: 2 * bytes, MaxEntryBytes: bytes})
+	if !c.Admit(fpN(1), low, nil, 1e6, 1) {
+		t.Fatal("low admit rejected")
+	}
+	if !c.Admit(fpN(2), high, nil, 1e12, 1) {
+		t.Fatal("high admit rejected")
+	}
+	// A newcomer worth less than everything resident is the one rejected.
+	if c.Admit(fpN(3), mkTable(t, "worst", 20), nil, 0, 1) {
+		t.Error("lowest-benefit newcomer displaced a resident entry")
+	}
+	// A newcomer between the two evicts exactly the low entry.
+	if !c.Admit(fpN(4), mkTable(t, "mid", 20), nil, 1e9, 1) {
+		t.Fatal("mid admit rejected")
+	}
+	if c.Lookup(fpN(1)) != nil {
+		t.Error("low-benefit entry survived")
+	}
+	if e := c.Lookup(fpN(2)); e == nil {
+		t.Error("high-benefit entry was evicted")
+	} else {
+		e.Release()
+	}
+	ctr := c.Counters()
+	if ctr.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", ctr.Evictions)
+	}
+}
+
+func TestCachePinBlocksEviction(t *testing.T) {
+	a := mkTable(t, "a", 20)
+	bytes := a.AllocBytes()
+	c := New(Config{Budget: bytes, MaxEntryBytes: bytes})
+	if !c.Admit(fpN(1), a, nil, 1, 1) {
+		t.Fatal("admit rejected")
+	}
+	e := c.Lookup(fpN(1))
+	if e == nil {
+		t.Fatal("lookup missed")
+	}
+	// The only resident entry is pinned: nothing can be evicted, so even a
+	// far more valuable newcomer is rejected rather than unpinning a live
+	// reader.
+	if c.Admit(fpN(2), mkTable(t, "b", 20), nil, 1e15, 1) {
+		t.Error("admission evicted a pinned entry")
+	}
+	e.Release()
+	if !c.Admit(fpN(2), mkTable(t, "b", 20), nil, 1e15, 1) {
+		t.Error("admission still rejected after unpin")
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	base := mkTable(t, "base", 1)
+	c := New(Config{Budget: 1 << 20})
+	if !c.Admit(fpN(1), mkTable(t, "r1", 5), depsOf(base), 0, 1) {
+		t.Fatal("admit rejected")
+	}
+	// Lazy: a version bump is caught at the next Lookup.
+	base.BumpVersion()
+	if c.Lookup(fpN(1)) != nil {
+		t.Error("stale entry served after version bump")
+	}
+	if got := c.Counters().Invalidations; got != 1 {
+		t.Errorf("Invalidations = %d, want 1", got)
+	}
+	// Eager: Invalidate drops matching entries immediately.
+	if !c.Admit(fpN(2), mkTable(t, "r2", 5), depsOf(base), 0, 1) {
+		t.Fatal("re-admit rejected")
+	}
+	c.Invalidate(base)
+	if c.Has(fpN(2)) {
+		t.Error("eager invalidation left the entry")
+	}
+	// Admission itself rejects when a dep moved between fingerprint and fill.
+	deps := depsOf(base)
+	base.BumpVersion()
+	if c.Admit(fpN(3), mkTable(t, "r3", 5), deps, 0, 1) {
+		t.Error("admitted an entry whose dep moved during the fill")
+	}
+}
+
+func TestCacheCoolAndFaultIn(t *testing.T) {
+	dir := t.TempDir()
+	cold := mkTable(t, "cold", 30)
+	bytes := cold.AllocBytes()
+	c := New(Config{Budget: bytes, MaxEntryBytes: bytes, Dir: dir})
+	if !c.Admit(fpN(1), cold, nil, 1, 1) {
+		t.Fatal("admit rejected")
+	}
+	// The second entry displaces the first, which cools to disk instead of
+	// being dropped.
+	if !c.Admit(fpN(2), mkTable(t, "hot", 30), nil, 1e9, 1) {
+		t.Fatal("second admit rejected")
+	}
+	ctr := c.Counters()
+	if ctr.Cooled != 1 || ctr.Evictions != 0 {
+		t.Fatalf("counters after cool = %+v", ctr)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.blk"))
+	if len(files) != 1 {
+		t.Fatalf("cooled files = %d, want 1", len(files))
+	}
+	// The next hit faults it back in bit-exact.
+	e := c.Lookup(fpN(1))
+	if e == nil {
+		t.Fatal("cooled entry missed")
+	}
+	got := e.Table()
+	if got.NumRows() != cold.NumRows() {
+		t.Fatalf("faulted rows = %d, want %d", got.NumRows(), cold.NumRows())
+	}
+	want := cold.Blocks()
+	for i, b := range got.Blocks() {
+		for r := 0; r < b.NumRows(); r++ {
+			if b.Int64At(0, r) != want[i].Int64At(0, r) {
+				t.Fatalf("faulted row %d/%d differs", i, r)
+			}
+		}
+	}
+	e.Release()
+	if got := c.Counters().FaultedIn; got != 1 {
+		t.Errorf("FaultedIn = %d, want 1", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*.blk"))
+	if len(files) != 0 {
+		t.Errorf("Close left %d cooled files", len(files))
+	}
+}
+
+func TestCacheFaultInRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	cold := mkTable(t, "cold", 30)
+	bytes := cold.AllocBytes()
+	c := New(Config{Budget: bytes, MaxEntryBytes: bytes, Dir: dir})
+	c.Admit(fpN(1), cold, nil, 1, 1)
+	c.Admit(fpN(2), mkTable(t, "hot", 30), nil, 1e9, 1)
+	files, err := filepath.Glob(filepath.Join(dir, "*.blk"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cooled files = %d (%v)", len(files), err)
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup(fpN(1)) != nil {
+		t.Fatal("damaged cooled entry served")
+	}
+	if c.Has(fpN(1)) {
+		t.Error("damaged entry not dropped")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := New(Config{Budget: 1 << 20})
+	leader, wait, done := c.Flight(fpN(1))
+	if !leader || wait != nil || done == nil {
+		t.Fatal("first caller is not the leader")
+	}
+	l2, wait2, _ := c.Flight(fpN(1))
+	if l2 || wait2 == nil {
+		t.Fatal("second caller did not become a waiter")
+	}
+	released := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := wait2(nil); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		close(released)
+	}()
+	done()
+	wg.Wait()
+	<-released
+	// The flight is gone: the next caller leads again.
+	l3, _, done3 := c.Flight(fpN(1))
+	if !l3 {
+		t.Fatal("flight was not cleared by done")
+	}
+	done3()
+	ctr := c.Counters()
+	if ctr.FlightLeaders != 2 || ctr.FlightWaits != 1 {
+		t.Errorf("flight counters = %+v", ctr)
+	}
+}
+
+func TestCacheCloseReportsPinLeaks(t *testing.T) {
+	c := New(Config{Budget: 1 << 20})
+	c.Admit(fpN(1), mkTable(t, "r", 5), nil, 0, 1)
+	e := c.Lookup(fpN(1))
+	if err := c.Close(); err == nil {
+		t.Error("Close ignored an outstanding pin")
+	}
+	e.Release()
+	c2 := New(Config{Budget: 1 << 20})
+	c2.Admit(fpN(1), mkTable(t, "r", 5), nil, 0, 1)
+	e2 := c2.Lookup(fpN(1))
+	e2.Release()
+	if err := c2.Close(); err != nil {
+		t.Errorf("Close after release: %v", err)
+	}
+	if c2.Lookup(fpN(1)) != nil {
+		t.Error("closed cache served a hit")
+	}
+}
+
+func TestCacheOccupancyAccounting(t *testing.T) {
+	r1 := mkTable(t, "r1", 20)
+	r2 := mkTable(t, "r2", 20)
+	c := New(Config{Budget: r1.AllocBytes() + r2.AllocBytes(), MaxEntryBytes: r1.AllocBytes()})
+	c.Admit(fpN(1), r1, nil, 0, 1)
+	c.Admit(fpN(2), r2, nil, 0, 1)
+	entries, ram, disk := c.Occupancy()
+	if entries != 2 || ram != r1.AllocBytes()+r2.AllocBytes() || disk != 0 {
+		t.Errorf("occupancy = %d entries, %d ram, %d disk", entries, ram, disk)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if entries, ram, _ := c.Occupancy(); entries != 0 || ram != 0 {
+		t.Errorf("post-Close occupancy = %d entries, %d ram", entries, ram)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/reuse"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -64,6 +65,20 @@ type Config struct {
 	// SpillFaults, if non-nil, is consulted at the spill_write/spill_read
 	// sites (deterministic chaos testing of the spill tier).
 	SpillFaults *faults.Injector
+
+	// Reuse attaches a cross-query result cache (see internal/reuse) to the
+	// session: every submitted plan is fingerprint-probed before execution,
+	// hits splice the cached block set in, and cold fills of the same
+	// fingerprint are single-flighted so a burst of identical queries
+	// computes once.
+	Reuse bool
+	// ReuseBudget is the cache's RAM budget, carved out of MemoryBudget so
+	// admission control stays truthful about what the cache holds (default
+	// MemoryBudget/4).
+	ReuseBudget int64
+	// ReuseDir, if non-empty, lets cold cache entries cool to disk through
+	// the block codec instead of being evicted (default off).
+	ReuseDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +110,9 @@ func (c Config) withDefaults() Config {
 		if c.DiskBudget <= 0 {
 			c.DiskBudget = 8 * c.MemoryBudget
 		}
+	}
+	if c.Reuse && c.ReuseBudget <= 0 {
+		c.ReuseBudget = c.MemoryBudget / 4
 	}
 	return c
 }
@@ -170,6 +188,7 @@ type Session struct {
 	gauge  stats.MemGauge // global live temp bytes across all queries
 	blocks *storage.Pool  // shared root pool; queries run on Subpool views
 	adm    admission
+	reuse  *reuse.Cache // nil unless cfg.Reuse
 	nextID int64
 	closed int32
 
@@ -197,7 +216,22 @@ func Open(cfg Config) *Session {
 		}
 		diskBudget = cfg.DiskBudget
 	}
-	s.adm.init(cfg.MemoryBudget, diskBudget, cfg.MaxConcurrent, cfg.QueueDepth)
+	admBudget := cfg.MemoryBudget
+	if cfg.Reuse {
+		// The cache's RAM comes out of the session budget: admission
+		// arbitrates what's left, so cached entries and live queries can
+		// never jointly promise more memory than the session has.
+		admBudget -= cfg.ReuseBudget
+		if admBudget < cfg.MemoryBudget/8 {
+			admBudget = cfg.MemoryBudget / 8
+		}
+		s.reuse = reuse.New(reuse.Config{
+			Budget: cfg.ReuseBudget,
+			Dir:    cfg.ReuseDir,
+			Trace:  cfg.Trace,
+		})
+	}
+	s.adm.init(admBudget, diskBudget, cfg.MaxConcurrent, cfg.QueueDepth)
 	return s
 }
 
@@ -245,6 +279,23 @@ func (s *Session) Submit(req Request) (*Response, error) {
 		defer cancel()
 	}
 
+	// Single-flight on the plan fingerprint: if an identical cold query is
+	// already filling the cache, wait for it instead of computing the same
+	// result concurrently — on wake the engine's probe hits. Leaders (and
+	// fingerprints the cache already holds) proceed immediately; a waiter
+	// whose leader failed to fill simply runs cold itself.
+	if s.reuse != nil {
+		if fp, ok := reuse.RootFingerprint(b.Plan()); ok && !s.reuse.Has(fp) {
+			leader, wait, done := s.reuse.Flight(fp)
+			if leader {
+				defer done()
+			} else if err := wait(ctx); err != nil {
+				s.countAdmitErr(err)
+				return nil, err
+			}
+		}
+	}
+
 	start := time.Now()
 	if err := s.adm.admit(ctx, req.Priority, est, spillable); err != nil {
 		s.countAdmitErr(err)
@@ -278,6 +329,7 @@ func (s *Session) Submit(req Request) (*Response, error) {
 		AdaptiveConfig:    req.AdaptiveConfig,
 		Trace:             s.cfg.Trace,
 		TraceLabel:        label,
+		Reuse:             s.reuse,
 		Exec:              s.pool,
 		SharedPool:        s.blocks,
 		QueryID:           id,
@@ -360,6 +412,16 @@ func (s *Session) Occupancy() (inflight, waiting int, reserved int64) {
 // the spill-file side of the cross-query zero-leak invariant.
 func (s *Session) SpillStats() storage.SpillCounters { return s.blocks.SpillCounters() }
 
+// ReuseStats snapshots the result cache's counters (zero without a cache).
+// Pins is 0 whenever the session is idle — the cache side of the cross-query
+// zero-leak invariant.
+func (s *Session) ReuseStats() reuse.Counters {
+	if s.reuse == nil {
+		return reuse.Counters{}
+	}
+	return s.reuse.Counters()
+}
+
 // Close rejects queued waiters, waits for running queries to finish, stops
 // the worker pool, and tears down the spill tier (extent files and the
 // per-session spill directory go with it — the drain happens first, so no
@@ -370,6 +432,13 @@ func (s *Session) Close() {
 		return
 	}
 	s.adm.closeAndDrain()
+	if s.reuse != nil {
+		// Running queries have drained, so no entry may still be pinned; a
+		// pin leak here is a bug on the engine's unpin path.
+		if err := s.reuse.Close(); err != nil {
+			panic(fmt.Sprintf("session: %v", err))
+		}
+	}
 	s.blocks.CloseSpill()
 	s.pool.Close()
 }

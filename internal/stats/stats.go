@@ -169,6 +169,7 @@ type Run struct {
 
 	robust   Robustness
 	spill    Spill
+	reuse    Reuse
 	edgeUoTs []EdgeUoT
 
 	// query/label identify the run among concurrent runs (serving layer);
@@ -269,6 +270,33 @@ type Spill struct {
 	ReadFaults          int64 // fault-in read attempts that were retried
 	DiskLive            int64 // extent bytes still live at snapshot time
 	DiskPeak            int64 // extent-byte high-water mark
+}
+
+// Reuse is one run's result-cache activity: whether a cached entry was
+// spliced into the plan (and what that pruned), and what the run's cold side
+// contributed back (captures admitted or rejected). Copied once from the
+// engine's reuse bookkeeping at run end, like Spill.
+type Reuse struct {
+	Hit         bool  // a cached result was spliced into the plan
+	SplicedOps  int64 // operators pruned from the plan by hit-splices
+	HitBytes    int64 // cached bytes the spliced scans read
+	Captured    int64 // capture taps whose block sets were admitted
+	CaptureRej  int64 // capture taps taken but rejected by admission
+	BytesPinned int64 // bytes this run added to the cache
+}
+
+// SetReuse records the run's reuse-cache snapshot.
+func (r *Run) SetReuse(u Reuse) {
+	r.mu.Lock()
+	r.reuse = u
+	r.mu.Unlock()
+}
+
+// Reuse returns the run's reuse-cache snapshot (zero without a cache).
+func (r *Run) Reuse() Reuse {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reuse
 }
 
 // SetSpill records the run's spill-tier snapshot.

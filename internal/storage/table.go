@@ -3,9 +3,13 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
+
+// tableUID hands every table a process-unique identity (see Table.UID).
+var tableUID int64
 
 // Table is an ordered list of blocks sharing one schema, format, and block
 // size. Base tables are built once by a loader; intermediate tables are
@@ -15,18 +19,38 @@ type Table struct {
 	schema     *Schema
 	format     Format
 	blockBytes int
+	uid        int64
 
 	mu     sync.Mutex
 	blocks []*Block
+
+	version atomic.Int64
 }
 
 // NewTable returns an empty table.
 func NewTable(name string, schema *Schema, format Format, blockBytes int) *Table {
-	return &Table{name: name, schema: schema, format: format, blockBytes: blockBytes}
+	return &Table{
+		name: name, schema: schema, format: format, blockBytes: blockBytes,
+		uid: atomic.AddInt64(&tableUID, 1),
+	}
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// UID returns the table's process-unique identity. Two tables never share a
+// UID even when they share a name, so a plan fingerprint keyed on UID can
+// never confuse one loaded dataset with another.
+func (t *Table) UID() int64 { return t.uid }
+
+// Version returns the table's data version, starting at 0. Consumers that
+// cache results derived from the table (internal/reuse) key their validity
+// on it.
+func (t *Table) Version() int64 { return t.version.Load() }
+
+// BumpVersion advances the data version; call it after mutating the table's
+// contents so version-keyed caches invalidate.
+func (t *Table) BumpVersion() { t.version.Add(1) }
 
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }

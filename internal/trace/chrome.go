@@ -157,6 +157,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				name = "uot snapped to table"
 			case MarkRunEnd:
 				name = "run end"
+			case MarkSpill:
+				name = "spill evict"
+			case MarkSpillFaultIn:
+				name = "spill fault-in"
+			case MarkReuseHit:
+				name = "reuse hit-splice"
+			case MarkReuseEvict:
+				name = "reuse evict"
 			}
 			args := map[string]any{"op": e.Op}
 			if e.Mark == MarkUoTRaise || e.Mark == MarkUoTLower || e.Mark == MarkUoTSnap {

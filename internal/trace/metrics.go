@@ -39,6 +39,15 @@ type RunMetrics struct {
 	SpillBlocksIn  int64 `json:"spill_blocks_in,omitempty"`
 	SpillBytesIn   int64 `json:"spill_bytes_in,omitempty"`
 	SpillStallNS   int64 `json:"spill_stall_ns,omitempty"`
+
+	// Reuse-cache aggregates (zero without a reuse cache): hit-splices that
+	// replaced a subtree with a cached-result scan, the operators and bytes
+	// they pruned, and cache evictions observed during the section.
+	ReuseHits         int64 `json:"reuse_hits,omitempty"`
+	ReuseSplicedOps   int64 `json:"reuse_spliced_ops,omitempty"`
+	ReuseHitBytes     int64 `json:"reuse_hit_bytes,omitempty"`
+	ReuseEvictions    int64 `json:"reuse_evictions,omitempty"`
+	ReuseEvictedBytes int64 `json:"reuse_evicted_bytes,omitempty"`
 }
 
 // OpMetrics aggregates one operator's work-order spans.
@@ -97,6 +106,9 @@ func (t *Tracer) Snapshot() Metrics {
 			SpillBlocksOut: r.spillBlocksOut, SpillBytesOut: r.spillBytesOut,
 			SpillBlocksIn: r.spillBlocksIn, SpillBytesIn: r.spillBytesIn,
 			SpillStallNS: r.spillStallNS,
+			ReuseHits:    r.reuseHits, ReuseSplicedOps: r.reuseSplicedOps,
+			ReuseHitBytes: r.reuseHitBytes, ReuseEvictions: r.reuseEvictions,
+			ReuseEvictedBytes: r.reuseEvictedBytes,
 		}
 		if r.endNS > r.beginNS {
 			rm.WallNS = r.endNS - r.beginNS
@@ -282,6 +294,23 @@ func (m Metrics) WritePrometheus(w io.Writer) error {
 	emit("uot_spill_stall_nanoseconds_total", "Delivery wall time spent blocked on spill fault-in.", "counter",
 		func(run RunMetrics, add func(string, int64)) {
 			add(`kind="fault_in"`, run.SpillStallNS)
+		})
+	emit("uot_reuse_hits_total", "Subtrees replaced by cached-result scans (hit-splices).", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`kind="splice"`, run.ReuseHits)
+		})
+	emit("uot_reuse_spliced_ops_total", "Operators pruned from plans by reuse hit-splices.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`kind="splice"`, run.ReuseSplicedOps)
+		})
+	emit("uot_reuse_bytes_total", "Cached-result bytes served by hit-splices and bytes dropped by evictions.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`dir="hit"`, run.ReuseHitBytes)
+			add(`dir="evicted"`, run.ReuseEvictedBytes)
+		})
+	emit("uot_reuse_evictions_total", "Reuse-cache entries evicted or cooled out of RAM.", "counter",
+		func(run RunMetrics, add func(string, int64)) {
+			add(`kind="evict"`, run.ReuseEvictions)
 		})
 	_, err := io.WriteString(w, sb.String())
 	return err

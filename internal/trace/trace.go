@@ -82,6 +82,13 @@ const (
 	// back in (Rows carries the blocks faulted in, RowsOut the bytes,
 	// StallNS the read-through stall the consumer paid).
 	MarkSpillFaultIn
+	// MarkReuseHit: the reuse cache matched a subtree fingerprint and the
+	// engine spliced a cached-result scan in its place (Rows carries the
+	// operators pruned, RowsOut the entry's bytes).
+	MarkReuseHit
+	// MarkReuseEvict: the reuse cache evicted an entry to make room
+	// (RowsOut carries the evicted entry's bytes).
+	MarkReuseEvict
 )
 
 // Span flag bits.
@@ -193,6 +200,10 @@ type runMeta struct {
 	spillBlocksOut, spillBytesOut int64
 	spillBlocksIn, spillBytesIn   int64
 	spillStallNS                  int64
+
+	// Reuse aggregates (see internal/reuse).
+	reuseHits, reuseSplicedOps, reuseHitBytes int64
+	reuseEvictions, reuseEvictedBytes         int64
 }
 
 // Tracer is the event sink. The zero value is not usable; construct with
@@ -468,6 +479,13 @@ func (t *Tracer) MarkIn(h int32, code MarkCode, e Event) {
 			r.spillBlocksIn += e.Rows
 			r.spillBytesIn += e.RowsOut
 			r.spillStallNS += e.StallNS
+		case MarkReuseHit:
+			r.reuseHits++
+			r.reuseSplicedOps += e.Rows
+			r.reuseHitBytes += e.RowsOut
+		case MarkReuseEvict:
+			r.reuseEvictions++
+			r.reuseEvictedBytes += e.RowsOut
 		}
 	}
 	t.recordLocked(r, e)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/memmodel"
 	"repro/internal/monet"
+	"repro/internal/reuse"
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -329,6 +330,29 @@ type (
 
 // OpenSession starts a serving session.
 func OpenSession(cfg SessionConfig) *Session { return session.Open(cfg) }
+
+// Cross-query result reuse (see internal/reuse): a ReuseCache keys
+// materialized subplan results by canonical plan fingerprints, so repeated
+// or overlapping queries splice a scan of the cached block set in place of
+// recomputing the subtree. Attach one to a session with
+// SessionConfig{Reuse: true} or to a standalone execution via
+// engine.Options.Reuse.
+type (
+	// ReuseCache is the benefit-ranked cross-query result cache.
+	ReuseCache = reuse.Cache
+	// ReuseConfig sizes a cache: RAM budget, per-entry cap, optional
+	// cool-to-disk tier.
+	ReuseConfig = reuse.Config
+	// ReuseCounters snapshots hits, misses, admissions, evictions, and
+	// occupancy.
+	ReuseCounters = reuse.Counters
+	// Fingerprint identifies a subplan's canonical encoding.
+	Fingerprint = reuse.Fingerprint
+)
+
+// NewReuseCache builds a standalone result cache (sessions build their own
+// from SessionConfig).
+func NewReuseCache(cfg ReuseConfig) *ReuseCache { return reuse.New(cfg) }
 
 // Typed serving and robustness errors, matched with errors.Is.
 var (
